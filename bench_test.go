@@ -1,0 +1,133 @@
+package liteflow_test
+
+// One benchmark per table and figure of the paper's evaluation (DESIGN.md
+// §3): each runs the corresponding experiment end-to-end on the simulated
+// substrate at a reduced scale and reports the headline quantities via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates every result.
+// cmd/lfbench prints the full rows at paper scale.
+
+import (
+	"testing"
+
+	liteflow "github.com/liteflow-sim/liteflow"
+	"github.com/liteflow-sim/liteflow/internal/experiments"
+)
+
+// benchCfg keeps full-suite bench runs tractable; cmd/lfbench -all uses
+// Scale 1.
+func benchCfg() experiments.Config { return experiments.Config{Scale: 0.1, Seed: 1} }
+
+func runExperiment(b *testing.B, id string) experiments.Result {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = r.Run(benchCfg())
+	}
+	return res
+}
+
+func BenchmarkFig01a(b *testing.B) {
+	res := runExperiment(b, "fig1a")
+	if s := res.Get("100ms"); s != nil && len(s.Y) > 0 {
+		b.ReportMetric(s.X[len(s.X)/2], "goodput-p50-100ms-Gbps")
+	}
+}
+
+func BenchmarkFig01b(b *testing.B) { runExperiment(b, "fig1b") }
+
+func BenchmarkFig02(b *testing.B) { runExperiment(b, "fig2") }
+
+func BenchmarkFig03(b *testing.B) {
+	res := runExperiment(b, "fig3")
+	if s := res.Get("CCP-Aurora-1ms"); s != nil && len(s.Y) > 0 {
+		b.ReportMetric(s.Y[len(s.Y)-1], "ccp1ms-over-bbr-at-N10")
+	}
+}
+
+func BenchmarkFig04(b *testing.B) {
+	res := runExperiment(b, "fig4")
+	if s := res.Get("softirq-share-%"); s != nil && len(s.Y) > 0 {
+		b.ReportMetric(s.Y[0], "bbr-softirq-share-pct")
+		b.ReportMetric(s.Y[len(s.Y)-1], "ccp1ms-softirq-share-pct")
+	}
+}
+
+func BenchmarkFig05(b *testing.B) { runExperiment(b, "fig5") }
+
+func BenchmarkFig07(b *testing.B) {
+	res := runExperiment(b, "fig7")
+	if s := res.Get("Aurora"); s != nil && len(s.Y) >= 4 {
+		b.ReportMetric(s.Y[3]*100, "aurora-loss-at-C1000-pct")
+	}
+}
+
+func BenchmarkFig08(b *testing.B) { runExperiment(b, "fig8") }
+
+func BenchmarkFig11(b *testing.B) {
+	res := runExperiment(b, "fig11")
+	if s := res.Get("goodput"); s != nil && len(s.Y) >= 5 {
+		b.ReportMetric(s.Y[0], "lf-aurora-Gbps")
+		b.ReportMetric(s.Y[4], "ccp-aurora-100ms-Gbps")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+func BenchmarkFig13(b *testing.B) {
+	res := runExperiment(b, "fig13")
+	if s := res.Get("LF-Aurora"); s != nil && len(s.Y) > 0 {
+		b.ReportMetric(s.Y[len(s.Y)-1], "lf-aurora-over-bbr-at-N10")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
+
+func BenchmarkDummyNN(b *testing.B) { runExperiment(b, "dummy") }
+
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15") }
+
+func BenchmarkFig16(b *testing.B) {
+	res := runExperiment(b, "fig16")
+	if s := res.Get("LF-FFNN"); s != nil && len(s.Y) >= 3 {
+		b.ReportMetric(s.Y[0], "lf-ffnn-short-fct-us")
+		b.ReportMetric(s.Y[2], "lf-ffnn-long-fct-us")
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	res := runExperiment(b, "fig17")
+	if s := res.Get("LF-MLP"); s != nil && len(s.Y) >= 3 {
+		b.ReportMetric(s.Y[0], "lf-mlp-short-fct-us")
+	}
+}
+
+// BenchmarkTable1API measures the core API's hot entry point, lf_query_model
+// through the flow cache — the per-inference cost a datapath function pays.
+func BenchmarkTable1API(b *testing.B) {
+	eng := liteflow.NewEngine()
+	cfg := liteflow.DefaultConfig()
+	cfg.FlowCacheTimeout = 0
+	lf := liteflow.New(eng, nil, liteflow.DefaultCosts(), cfg)
+	net := liteflow.NewNetwork([]int{30, 32, 16, 1},
+		[]liteflow.Activation{liteflow.Tanh, liteflow.Tanh, liteflow.Tanh}, 1)
+	snap, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "aurora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := lf.RegisterModel(snap); err != nil {
+		b.Fatal(err)
+	}
+	in := make([]int64, 30)
+	out := make([]int64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lf.QueryModel(1, in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

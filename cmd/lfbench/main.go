@@ -1,0 +1,57 @@
+// Command lfbench runs the paper-reproduction experiments and prints their
+// tables/series. Each experiment corresponds to a table or figure of the
+// LiteFlow paper (see DESIGN.md §3 for the index).
+//
+// Usage:
+//
+//	lfbench -list                 # enumerate experiments
+//	lfbench -exp fig11            # run one experiment at full scale
+//	lfbench -exp fig11 -scale 0.2 # faster, smaller run
+//	lfbench -all                  # regenerate everything (EXPERIMENTS.md data)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/liteflow-sim/liteflow/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment in paper order")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.Float64("scale", 1.0, "duration/size scale factor (1.0 = paper shape)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+	case *all:
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		for _, r := range experiments.All() {
+			start := time.Now()
+			res := r.Run(cfg)
+			fmt.Println(res.String())
+			fmt.Printf("(%s completed in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+		}
+	case *exp != "":
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lfbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		res := r.Run(experiments.Config{Scale: *scale, Seed: *seed})
+		fmt.Println(res.String())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

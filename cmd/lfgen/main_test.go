@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesValidModule(t *testing.T) {
+	spec := `{"name":"aurora","sizes":[30,32,16,1],
+		"activations":["tanh","tanh","tanh"],"seed":1,"outputScale":1000}`
+	var out strings.Builder
+	if err := run(strings.NewReader(spec), &out, false); err != nil {
+		t.Fatal(err)
+	}
+	src := out.String()
+	for _, want := range []string{"package snapshot", "Infer_aurora", "lut_0"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithRuntime(t *testing.T) {
+	spec := `{"sizes":[2,2],"activations":["linear"],"seed":1}`
+	var out strings.Builder
+	if err := run(strings.NewReader(spec), &out, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "registerModel") {
+		t.Error("runtime support source missing")
+	}
+	// Default name applies.
+	if !strings.Contains(out.String(), "Infer_model") {
+		t.Error("default model name missing")
+	}
+}
+
+func TestRunWithExplicitWeights(t *testing.T) {
+	spec := `{"name":"w","sizes":[2,1],"activations":["linear"],
+		"weights":[[[1.0, -1.0]]],"biases":[[0.5]]}`
+	var out strings.Builder
+	if err := run(strings.NewReader(spec), &out, false); err != nil {
+		t.Fatal(err)
+	}
+	// Weight 1.0 at the default scale 4096 must appear inlined.
+	if !strings.Contains(out.String(), "input[0]*4096") {
+		t.Error("explicit weight not inlined")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"sizes":[2,1],"activations":["nope"]}`,
+		`{"sizes":[2,1],"activations":["linear"],"weights":[[[1]],[[2]]]}`,
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		if err := run(strings.NewReader(c), &out, false); err == nil {
+			t.Errorf("spec %q must be rejected", c)
+		}
+	}
+}

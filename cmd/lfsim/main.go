@@ -1,0 +1,154 @@
+// Command lfsim runs ad-hoc congestion-control scenarios on the simulated
+// testbed: one dumbbell, N flows under a chosen scheme, with goodput,
+// retransmission and CPU reports. It is the quick-look companion to the
+// structured experiments in cmd/lfbench.
+//
+// Example:
+//
+//	lfsim -cc lf-aurora -flows 4 -duration 5s -congested
+//	lfsim -cc ccp-aurora -interval 10ms -flows 10
+//	lfsim -cc bbr -flows 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/liteflow-sim/liteflow/internal/cc"
+	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+	"github.com/liteflow-sim/liteflow/internal/topo"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("cc", "bbr", "scheme: bbr | cubic | lf-aurora | lf-mocc | ccp-aurora | ccp-mocc")
+		flows     = flag.Int("flows", 1, "concurrent flows")
+		duration  = flag.Duration("duration", 5*time.Second, "measured duration (after 2s warmup)")
+		interval  = flag.Duration("interval", 10*time.Millisecond, "CCP communication interval (0 = per-ACK)")
+		congested = flag.Bool("congested", false, "1 Gbps bottleneck + 0.1 Gbps UDP background")
+	)
+	flag.Parse()
+
+	eng := netsim.NewEngine()
+	opts := topo.TestbedOpts(1)
+	if !*congested {
+		opts.BottleneckBps = 40e9
+		opts.BufferBytes = 4 << 20
+	}
+	d := topo.NewDumbbell(eng, opts)
+	costs := ksim.DefaultCosts()
+	d.AttachCPUs(4, costs)
+	sender, receiver := d.Senders[0], d.Receivers[0]
+
+	if *congested {
+		u := tcp.NewUDPSource(d.UDPHost, 9999, receiver.ID, 100e6)
+		u.Start()
+		defer u.Stop()
+	}
+
+	// Policy nets for the NN schemes.
+	needAurora := *scheme == "lf-aurora" || *scheme == "ccp-aurora"
+	needMOCC := *scheme == "lf-mocc" || *scheme == "ccp-mocc"
+	var lf *core.Core
+	var policy cc.Policy
+	var macs int
+	if needAurora || needMOCC {
+		net := cc.NewAuroraNet(1)
+		if needMOCC {
+			net = cc.NewMOCCNet(1)
+		}
+		fmt.Fprintln(os.Stderr, "pretraining policy network…")
+		cc.Pretrain(net, 400, 2)
+		policy = cc.NewNNPolicy(net)
+		macs = net.MACs()
+		if *scheme == "lf-aurora" || *scheme == "lf-mocc" {
+			cfg := core.DefaultConfig()
+			cfg.FlowCacheTimeout = 0
+			lf = core.New(eng, sender.CPU, costs, cfg)
+			mod, err := codegen.Build(quant.Quantize(net, cfg.Quant), "model")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfsim:", err)
+				os.Exit(1)
+			}
+			if _, err := lf.RegisterModel(mod); err != nil {
+				fmt.Fprintln(os.Stderr, "lfsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	var ctrls []*cc.MIController
+	makeCtrl := func(flow netsim.FlowID) tcp.CongestionControl {
+		switch *scheme {
+		case "bbr":
+			return cc.NewBBR()
+		case "cubic":
+			return cc.NewCubic()
+		case "lf-aurora", "lf-mocc":
+			m := cc.NewMIController(eng, core.NewFlowBackend(lf, flow), 500e6)
+			ctrls = append(ctrls, m)
+			return m
+		case "ccp-aurora", "ccp-mocc":
+			b := &cc.CCPBackend{Eng: eng, CPU: sender.CPU, Costs: costs,
+				Policy: policy, Interval: netsim.Time(interval.Nanoseconds()), UserMACs: macs}
+			m := cc.NewMIController(eng, b, 500e6)
+			ctrls = append(ctrls, m)
+			return m
+		}
+		fmt.Fprintf(os.Stderr, "lfsim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+		return nil
+	}
+
+	perFlow := make([]int64, *flows)
+	measuring := false
+	var senders []*tcp.Sender
+	for i := 0; i < *flows; i++ {
+		i := i
+		f := netsim.FlowID(i + 1)
+		s := tcp.NewSender(sender, f, receiver.ID, 0, makeCtrl(f))
+		rcv := tcp.NewReceiver(receiver, f, sender.ID)
+		rcv.OnDeliver = func(n int, now netsim.Time) {
+			if measuring {
+				perFlow[i] += int64(n)
+			}
+		}
+		s.Start()
+		senders = append(senders, s)
+	}
+
+	warmup := 2 * netsim.Second
+	eng.RunUntil(warmup)
+	measuring = true
+	sender.CPU.ResetAccounting()
+	eng.RunUntil(warmup + netsim.Time(duration.Nanoseconds()))
+	for _, m := range ctrls {
+		m.Stop()
+	}
+	if lf != nil {
+		lf.StopSweeper()
+	}
+
+	secs := duration.Seconds()
+	var agg float64
+	for i, b := range perFlow {
+		g := float64(b*8) / secs / 1e9
+		agg += g
+		fmt.Printf("flow %2d: %7.3f Gbps (rtx %d, timeouts %d)\n", i+1, g,
+			senders[i].Retransmits, senders[i].Timeouts)
+	}
+	fmt.Printf("aggregate: %.3f Gbps over %s\n", agg, *scheme)
+	fmt.Printf("sender CPU: %s\n", sender.CPU.Report())
+	if lf != nil {
+		st := lf.Stats()
+		fmt.Printf("liteflow core: %d queries, %d cache hits, %d models\n",
+			st.Queries, st.CacheHits, lf.Models())
+	}
+}

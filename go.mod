@@ -1,0 +1,3 @@
+module github.com/liteflow-sim/liteflow
+
+go 1.22

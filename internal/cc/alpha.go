@@ -1,0 +1,241 @@
+package cc
+
+import (
+	"math/rand"
+
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+)
+
+// AlphaController is the absolute-rate variant of the monitor-interval
+// controller: the NN's output is α ∈ [0, 1], the fraction of line rate to
+// pace at — exactly the CC example the paper uses to motivate its scale-up
+// quantization layer (§3.1: "its output is the portion α of the line rate as
+// target sending rate"). Because α is absolute, a model tuned for one
+// traffic pattern misbehaves under another, which is what the online
+// adaptation experiments (Figures 5 and 12) exercise.
+type AlphaController struct {
+	Eng      *netsim.Engine
+	Backend  Backend
+	LineRate int64
+	MinMI    netsim.Time
+	MinAlpha float64
+
+	// OnState observes (state, α, MI summary) for the slow path.
+	OnState func(state []float64, alpha float64, mi MISummary)
+
+	curAlpha float64
+	srtt     netsim.Time
+
+	history [StateDim]float64
+	state   [StateDim]float64
+
+	minRTT     netsim.Time
+	miStart    netsim.Time
+	rttSum     netsim.Time
+	rttCount   int
+	ackedBytes int
+	lostBytes  int
+	prevAvgRTT netsim.Time
+	running    bool
+
+	// MIs counts completed monitor intervals.
+	MIs int64
+}
+
+// NewAlphaController returns a controller pacing at initialAlpha of
+// lineRate until the first decision.
+func NewAlphaController(eng *netsim.Engine, backend Backend, lineRate int64, initialAlpha float64) *AlphaController {
+	return &AlphaController{
+		Eng: eng, Backend: backend, LineRate: lineRate,
+		MinMI: 2 * netsim.Millisecond, MinAlpha: 0.01,
+		curAlpha: initialAlpha,
+		minRTT:   1 << 62,
+	}
+}
+
+// Start implements tcp.CongestionControl.
+func (m *AlphaController) Start(now netsim.Time) {
+	m.running = true
+	m.miStart = now
+	m.schedule()
+}
+
+// Stop halts the MI timer.
+func (m *AlphaController) Stop() { m.running = false }
+
+// Alpha returns the current line-rate fraction.
+func (m *AlphaController) Alpha() float64 { return m.curAlpha }
+
+func (m *AlphaController) schedule() {
+	if !m.running {
+		return
+	}
+	d := m.srtt
+	if d < m.MinMI {
+		d = m.MinMI
+	}
+	m.Eng.After(d, m.endMI)
+}
+
+// OnAck implements tcp.CongestionControl.
+func (m *AlphaController) OnAck(a tcp.AckInfo) {
+	m.srtt = a.SRTT
+	if a.RTT > 0 {
+		m.rttSum += a.RTT
+		m.rttCount++
+		if a.RTT < m.minRTT {
+			m.minRTT = a.RTT
+		}
+	}
+	m.ackedBytes += a.AckedBytes
+	if obs, ok := m.Backend.(AckObserver); ok {
+		obs.OnAckEvent()
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (m *AlphaController) OnLoss(l tcp.LossInfo) { m.lostBytes += l.LostBytes }
+
+func (m *AlphaController) endMI() {
+	if !m.running {
+		return
+	}
+	now := m.Eng.Now()
+	dur := now - m.miStart
+	if dur <= 0 {
+		dur = 1
+	}
+	avgRTT := m.prevAvgRTT
+	if m.rttCount > 0 {
+		avgRTT = m.rttSum / netsim.Time(m.rttCount)
+	}
+	var latGrad float64
+	if m.prevAvgRTT > 0 && avgRTT > 0 {
+		latGrad = float64(avgRTT-m.prevAvgRTT) / float64(dur)
+	}
+	latRatio := 0.0
+	if m.minRTT < 1<<62 && avgRTT > 0 {
+		latRatio = float64(avgRTT)/float64(m.minRTT) - 1
+	}
+	sent := float64(m.PacingRate()) * float64(dur) / 1e9 / 8
+	acked := float64(m.ackedBytes)
+	sendRatio := 0.0
+	if acked > 1 {
+		sendRatio = sent/acked - 1
+	} else if sent > float64(netsim.MSS) {
+		sendRatio = 5
+	}
+	copy(m.history[:], m.history[FeatureDim:])
+	m.history[StateDim-3] = clip(latGrad*20, -1, 1)
+	m.history[StateDim-2] = clip(latRatio, -1, 5)
+	m.history[StateDim-1] = clip(sendRatio, -1, 5)
+	copy(m.state[:], m.history[:])
+
+	summary := MISummary{
+		Start: m.miStart, End: now, AvgRTT: avgRTT, MinRTT: m.minRTT,
+		AckedBytes: m.ackedBytes, LostBytes: m.lostBytes, Rate: m.PacingRate(),
+	}
+	if summary.Rate > 0 {
+		summary.Utilization = acked * 8 / (float64(summary.Rate) * float64(dur) / 1e9)
+	}
+
+	m.prevAvgRTT = avgRTT
+	m.miStart = now
+	m.rttSum, m.rttCount = 0, 0
+	m.ackedBytes, m.lostBytes = 0, 0
+	m.MIs++
+
+	state := m.state[:]
+	m.Backend.Query(state, func(alpha float64) {
+		m.curAlpha = clip(alpha, m.MinAlpha, 1)
+		if m.OnState != nil {
+			m.OnState(state, m.curAlpha, summary)
+		}
+	})
+	m.schedule()
+}
+
+// PacingRate implements tcp.CongestionControl.
+func (m *AlphaController) PacingRate() int64 {
+	r := int64(m.curAlpha * float64(m.LineRate))
+	if r < 1_000_000 {
+		r = 1_000_000
+	}
+	return r
+}
+
+// CwndBytes implements tcp.CongestionControl: 2 × rate·SRTT, floored.
+func (m *AlphaController) CwndBytes() int {
+	rtt := m.srtt
+	if rtt == 0 {
+		rtt = m.MinMI
+	}
+	w := int(2 * float64(m.PacingRate()) / 8 * float64(rtt) / 1e9)
+	if w < 10*netsim.MSS {
+		w = 10 * netsim.MSS
+	}
+	return w
+}
+
+// NewAuroraAlphaNet returns the Aurora architecture with a sigmoid output
+// head producing α ∈ (0, 1).
+func NewAuroraAlphaNet(seed int64) *nn.Network {
+	return nn.New([]int{StateDim, 32, 16, 1},
+		[]nn.Activation{nn.Tanh, nn.Tanh, nn.Sigmoid}, seed)
+}
+
+// NewMOCCAlphaNet returns the MOCC architecture with a sigmoid output head.
+func NewMOCCAlphaNet(seed int64) *nn.Network {
+	return nn.New([]int{StateDim, 64, 32, 1},
+		[]nn.Activation{nn.Tanh, nn.Tanh, nn.Sigmoid}, seed)
+}
+
+// PretrainAlpha fits net to output the constant fraction alpha across the
+// training environment's state distribution — the "NN trained for the
+// original pattern" the adaptation experiments start from. Returns the
+// final loss.
+func PretrainAlpha(net *nn.Network, alpha float64, iters int, seed int64) float64 {
+	r := newRand(seed)
+	opt := nn.NewAdam(2e-3)
+	const batch = 64
+	x := make([][]float64, batch)
+	y := make([][]float64, batch)
+	var loss float64
+	for it := 0; it < iters; it++ {
+		for i := 0; i < batch; i++ {
+			if i%2 == 0 {
+				// Calm steady-state inputs: the states the controller
+				// actually sees at equilibrium on its training pattern.
+				x[i] = CalmState(r)
+			} else {
+				x[i] = RandomState(r)
+			}
+			y[i] = []float64{alpha}
+		}
+		loss = nn.TrainBatch(net, opt, x, y, 5)
+	}
+	return loss
+}
+
+// CalmState samples a near-equilibrium MI state: tiny latency gradients and
+// ratios, negligible send-ratio distress.
+func CalmState(r *rand.Rand) []float64 {
+	s := make([]float64, StateDim)
+	for t := 0; t < HistoryLen; t++ {
+		s[t*FeatureDim+0] = r.NormFloat64() * 0.01
+		s[t*FeatureDim+1] = absFloat(r.NormFloat64()) * 0.02
+		s[t*FeatureDim+2] = absFloat(r.NormFloat64()) * 0.03
+	}
+	return s
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ tcp.CongestionControl = (*AlphaController)(nil)

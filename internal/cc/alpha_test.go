@@ -1,0 +1,152 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+)
+
+func TestAlphaControllerAppliesFraction(t *testing.T) {
+	eng := netsim.NewEngine()
+	b := &DirectBackend{Policy: PolicyFunc(func([]float64) float64 { return 0.4 })}
+	m := NewAlphaController(eng, b, 1_000_000_000, 0.9)
+	if m.PacingRate() != 900_000_000 {
+		t.Errorf("initial rate = %d, want 0.9 of line", m.PacingRate())
+	}
+	m.Start(0)
+	eng.RunUntil(50 * netsim.Millisecond)
+	m.Stop()
+	if m.PacingRate() != 400_000_000 {
+		t.Errorf("rate = %d, want 0.4 of line after decisions", m.PacingRate())
+	}
+	if m.Alpha() != 0.4 {
+		t.Errorf("Alpha = %v", m.Alpha())
+	}
+}
+
+func TestAlphaControllerClamps(t *testing.T) {
+	eng := netsim.NewEngine()
+	hi := NewAlphaController(eng, &DirectBackend{Policy: PolicyFunc(func([]float64) float64 { return 7 })}, 1e9, 0.5)
+	hi.Start(0)
+	eng.RunUntil(20 * netsim.Millisecond)
+	hi.Stop()
+	if hi.Alpha() != 1 {
+		t.Errorf("alpha must clamp to 1, got %v", hi.Alpha())
+	}
+	lo := NewAlphaController(eng, &DirectBackend{Policy: PolicyFunc(func([]float64) float64 { return -3 })}, 1e9, 0.5)
+	lo.Start(eng.Now())
+	eng.RunUntil(eng.Now() + 20*netsim.Millisecond)
+	lo.Stop()
+	if lo.Alpha() != lo.MinAlpha {
+		t.Errorf("alpha must clamp to MinAlpha, got %v", lo.Alpha())
+	}
+	// The pacing rate itself floors at 1 Mbps.
+	if lo.PacingRate() < 1_000_000 {
+		t.Errorf("rate floor broken: %d", lo.PacingRate())
+	}
+}
+
+func TestAlphaControllerOnStateAndFeatures(t *testing.T) {
+	eng := netsim.NewEngine()
+	m := NewAlphaController(eng, &DirectBackend{Policy: PolicyFunc(func([]float64) float64 { return 0.5 })}, 1e9, 0.5)
+	var states int
+	var lastMI MISummary
+	m.OnState = func(s []float64, a float64, mi MISummary) {
+		states++
+		lastMI = mi
+		if len(s) != StateDim {
+			t.Fatalf("state dim %d", len(s))
+		}
+		if a != 0.5 {
+			t.Fatalf("alpha %v", a)
+		}
+	}
+	m.Start(0)
+	// Feed some ACKs so the MI summaries carry data.
+	eng.After(netsim.Millisecond, func() {
+		m.OnAck(tcp.AckInfo{Now: eng.Now(), RTT: 10 * netsim.Millisecond,
+			SRTT: 10 * netsim.Millisecond, AckedBytes: 14480})
+	})
+	m.OnLoss(tcp.LossInfo{Now: 0, LostBytes: 1448})
+	eng.RunUntil(100 * netsim.Millisecond)
+	m.Stop()
+	if states == 0 {
+		t.Fatal("OnState must fire")
+	}
+	if lastMI.End <= lastMI.Start {
+		t.Error("MI summary must cover an interval")
+	}
+	if m.MIs == 0 {
+		t.Error("MI counter must advance")
+	}
+}
+
+func TestAlphaControllerCwnd(t *testing.T) {
+	eng := netsim.NewEngine()
+	m := NewAlphaController(eng, &DirectBackend{Policy: PolicyFunc(func([]float64) float64 { return 1 })}, 1e9, 1)
+	// No SRTT yet: floor applies.
+	if m.CwndBytes() < 10*netsim.MSS {
+		t.Error("cwnd floor broken")
+	}
+	m.OnAck(tcp.AckInfo{SRTT: 10 * netsim.Millisecond})
+	// 2 × 1 Gbps × 10 ms = 2.5 MB.
+	want := int(2 * 1e9 / 8 * 0.01)
+	if got := m.CwndBytes(); got < want*9/10 || got > want*11/10 {
+		t.Errorf("cwnd = %d, want ≈ %d", got, want)
+	}
+}
+
+func TestCalmStateIsCalm(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		s := CalmState(r)
+		if len(s) != StateDim {
+			t.Fatal("dim")
+		}
+		for _, v := range s {
+			if math.Abs(v) > 0.3 {
+				t.Fatalf("calm state has extreme feature %v", v)
+			}
+		}
+	}
+}
+
+func TestPretrainAlphaHitsTargetEverywhere(t *testing.T) {
+	net := NewAuroraAlphaNet(5)
+	loss := PretrainAlpha(net, 0.3, 300, 6)
+	if loss > 0.01 {
+		t.Fatalf("pretrain loss %v", loss)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		var s []float64
+		if i%2 == 0 {
+			s = CalmState(r)
+		} else {
+			s = RandomState(r)
+		}
+		got := net.Infer(s)[0]
+		if math.Abs(got-0.3) > 0.12 {
+			t.Errorf("pretrained output %v at sample %d, want ≈ 0.3", got, i)
+		}
+	}
+}
+
+func TestMOCCAlphaNetArchitecture(t *testing.T) {
+	n := NewMOCCAlphaNet(1)
+	if n.Layers[0].Out != 64 || n.Layers[1].Out != 32 {
+		t.Error("MOCC must have 64/32 hidden layers")
+	}
+	a := NewAuroraAlphaNet(1)
+	if a.Layers[0].Out != 32 || a.Layers[1].Out != 16 {
+		t.Error("Aurora must have 32/16 hidden layers")
+	}
+	// Sigmoid heads keep α in (0, 1).
+	out := a.Infer(make([]float64, StateDim))[0]
+	if out <= 0 || out >= 1 {
+		t.Errorf("alpha head out of range: %v", out)
+	}
+}

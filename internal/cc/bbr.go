@@ -1,0 +1,167 @@
+package cc
+
+import (
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+)
+
+// BBR is a compact model of BBRv1 (Cardwell et al.): rate-based control from
+// windowed estimates of bottleneck bandwidth and propagation RTT, with the
+// startup/drain/probe_bw gain schedule. It deliberately omits PROBE_RTT and
+// long-term policing — the evaluation only needs BBR's steady behaviour as
+// the kernel baseline.
+type BBR struct {
+	state    int // 0 startup, 1 drain, 2 probe_bw
+	btlBw    maxFilter
+	rtProp   netsim.Time
+	rtPropAt netsim.Time
+
+	pacingGain float64
+	cycleIdx   int
+	cycleAt    netsim.Time
+
+	fullBwCount int
+	lastFullBw  int64
+	roundEnd    netsim.Time // next full-bandwidth evaluation (once per RTT)
+
+	srtt netsim.Time
+	rate int64
+}
+
+var probeBwGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrStartupGain = 2.885
+	bbrDrainGain   = 1 / 2.885
+	bbrInitialRate = 10_000_000 // 10 Mbps until the first bandwidth sample
+)
+
+// NewBBR returns a BBR controller.
+func NewBBR() *BBR {
+	return &BBR{pacingGain: bbrStartupGain, rate: bbrInitialRate, rtProp: 1 << 62}
+}
+
+// maxFilter is a windowed max over (time, value) samples.
+type maxFilter struct {
+	window  netsim.Time
+	samples []struct {
+		at netsim.Time
+		v  int64
+	}
+}
+
+func (f *maxFilter) add(at netsim.Time, v int64) {
+	f.samples = append(f.samples, struct {
+		at netsim.Time
+		v  int64
+	}{at, v})
+	cutoff := at - f.window
+	i := 0
+	for i < len(f.samples) && f.samples[i].at < cutoff {
+		i++
+	}
+	f.samples = f.samples[i:]
+}
+
+func (f *maxFilter) max() int64 {
+	var m int64
+	for _, s := range f.samples {
+		if s.v > m {
+			m = s.v
+		}
+	}
+	return m
+}
+
+// Start implements tcp.CongestionControl.
+func (b *BBR) Start(now netsim.Time) {
+	b.btlBw.window = 100 * netsim.Millisecond * 10
+	b.cycleAt = now
+}
+
+// OnAck implements tcp.CongestionControl.
+func (b *BBR) OnAck(a tcp.AckInfo) {
+	b.srtt = a.SRTT
+	if a.RTT > 0 && (a.RTT < b.rtProp || a.Now-b.rtPropAt > 10*netsim.Second) {
+		b.rtProp = a.RTT
+		b.rtPropAt = a.Now
+	}
+	if a.DeliveryRate > 0 {
+		b.btlBw.add(a.Now, a.DeliveryRate)
+	}
+	bw := b.btlBw.max()
+
+	switch b.state {
+	case 0: // startup: exit when bandwidth stops growing for 3 round trips
+		if a.Now >= b.roundEnd { // evaluate once per RTT, not per ACK
+			b.roundEnd = a.Now + b.srttOr(10*netsim.Millisecond)
+			if bw > b.lastFullBw*5/4 {
+				b.lastFullBw = bw
+				b.fullBwCount = 0
+			} else if bw > 0 {
+				b.fullBwCount++
+				if b.fullBwCount >= 3 {
+					b.state = 1
+					b.pacingGain = bbrDrainGain
+					b.cycleAt = a.Now
+				}
+			}
+		}
+	case 1: // drain: one RTT at the drain gain, then cycle
+		if a.Now-b.cycleAt > b.srttOr(10*netsim.Millisecond) {
+			b.state = 2
+			b.cycleIdx = 0
+			b.pacingGain = probeBwGains[0]
+			b.cycleAt = a.Now
+		}
+	case 2: // probe_bw: advance the gain cycle once per RTT
+		if a.Now-b.cycleAt > b.srttOr(10*netsim.Millisecond) {
+			b.cycleIdx = (b.cycleIdx + 1) % len(probeBwGains)
+			b.pacingGain = probeBwGains[b.cycleIdx]
+			b.cycleAt = a.Now
+		}
+	}
+
+	if bw > 0 {
+		b.rate = int64(b.pacingGain * float64(bw))
+	} else {
+		b.rate = int64(b.pacingGain * bbrInitialRate)
+	}
+}
+
+func (b *BBR) srttOr(d netsim.Time) netsim.Time {
+	if b.srtt > 0 {
+		return b.srtt
+	}
+	return d
+}
+
+// OnLoss implements tcp.CongestionControl. BBRv1 is loss-agnostic except for
+// timeouts, which restart the bandwidth search.
+func (b *BBR) OnLoss(l tcp.LossInfo) {
+	if l.Timeout {
+		b.state = 0
+		b.pacingGain = bbrStartupGain
+		b.lastFullBw = 0
+		b.fullBwCount = 0
+	}
+}
+
+// PacingRate implements tcp.CongestionControl.
+func (b *BBR) PacingRate() int64 { return b.rate }
+
+// CwndBytes implements tcp.CongestionControl: 2 × BDP.
+func (b *BBR) CwndBytes() int {
+	rtt := b.rtProp
+	if rtt >= 1<<62 {
+		rtt = b.srttOr(10 * netsim.Millisecond)
+	}
+	bdp := float64(b.btlBw.max()) / 8 * float64(rtt) / 1e9
+	w := int(2 * bdp)
+	if w < 10*netsim.MSS {
+		w = 10 * netsim.MSS
+	}
+	return w
+}
+
+var _ tcp.CongestionControl = (*BBR)(nil)

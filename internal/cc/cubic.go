@@ -1,0 +1,106 @@
+// Package cc implements the congestion control algorithms the LiteFlow paper
+// evaluates: the kernel baselines CUBIC and BBR, DCTCP for the data-center
+// experiments, and the monitor-interval NN rate controller shared by Aurora
+// and MOCC together with its deployment backends (in-kernel snapshot vs
+// CCP-style cross-space userspace inference).
+package cc
+
+import (
+	"math"
+
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+)
+
+// Cubic is the standard kernel CUBIC congestion controller (Ha, Rhee, Xu),
+// window-based with cubic growth and β = 0.7 multiplicative decrease.
+type Cubic struct {
+	cwnd         float64 // bytes
+	ssthresh     float64
+	wMax         float64
+	epochAt      netsim.Time
+	k            float64 // cubic inflection offset in seconds
+	srtt         netsim.Time
+	inRecovery   bool
+	recoverUntil netsim.Time
+}
+
+// Cubic constants from the paper/kernel: C scales the cubic term, beta is
+// the multiplicative decrease factor.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC controller with a 10-segment initial window.
+func NewCubic() *Cubic {
+	return &Cubic{cwnd: 10 * netsim.MSS, ssthresh: math.MaxFloat64}
+}
+
+// Start implements tcp.CongestionControl.
+func (c *Cubic) Start(now netsim.Time) { c.epochAt = now }
+
+// OnAck implements tcp.CongestionControl.
+func (c *Cubic) OnAck(a tcp.AckInfo) {
+	c.srtt = a.SRTT
+	if a.Now > c.recoverUntil {
+		c.inRecovery = false
+	}
+	if c.inRecovery {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		// Slow start.
+		c.cwnd += float64(a.AckedBytes)
+		return
+	}
+	// Congestion avoidance: track the cubic curve.
+	t := float64(a.Now-c.epochAt) / 1e9
+	target := cubicC*math.Pow(t-c.k, 3)*float64(netsim.MSS) + c.wMax
+	if target > c.cwnd {
+		// Approach the target over one RTT's worth of ACKs.
+		c.cwnd += (target - c.cwnd) * float64(a.AckedBytes) / c.cwnd
+	} else {
+		// TCP-friendly floor: at least Reno-like growth.
+		c.cwnd += float64(netsim.MSS) * float64(a.AckedBytes) / c.cwnd * 0.5
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (c *Cubic) OnLoss(l tcp.LossInfo) {
+	if c.inRecovery && !l.Timeout {
+		return // one reduction per window
+	}
+	c.wMax = c.cwnd
+	c.cwnd *= cubicBeta
+	if c.cwnd < 2*netsim.MSS {
+		c.cwnd = 2 * netsim.MSS
+	}
+	c.ssthresh = c.cwnd
+	c.epochAt = l.Now
+	c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / (cubicC * float64(netsim.MSS)))
+	c.inRecovery = true
+	rtt := c.srtt
+	if rtt == 0 {
+		rtt = 10 * netsim.Millisecond
+	}
+	c.recoverUntil = l.Now + rtt
+	if l.Timeout {
+		c.cwnd = 2 * netsim.MSS
+	}
+}
+
+// PacingRate implements tcp.CongestionControl: cwnd per SRTT with modest
+// headroom, the kernel's pacing heuristic for window-based flows.
+func (c *Cubic) PacingRate() int64 {
+	rtt := c.srtt
+	if rtt == 0 {
+		rtt = 10 * netsim.Millisecond
+	}
+	return int64(1.2 * c.cwnd * 8 / (float64(rtt) / 1e9))
+}
+
+// CwndBytes implements tcp.CongestionControl.
+func (c *Cubic) CwndBytes() int { return int(c.cwnd) }
+
+var _ tcp.CongestionControl = (*Cubic)(nil)

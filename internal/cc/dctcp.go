@@ -1,0 +1,109 @@
+package cc
+
+import (
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+)
+
+// DCTCP is Data Center TCP (Alizadeh et al., SIGCOMM 2010): a window-based
+// controller that reduces cwnd in proportion to the fraction of ECN-marked
+// bytes per RTT. It is the transport used by the flow-scheduling and
+// load-balancing experiments (paper §5.2–5.3).
+type DCTCP struct {
+	cwnd     float64
+	ssthresh float64
+	alpha    float64
+	srtt     netsim.Time
+
+	windowEnd    netsim.Time
+	ackedBytes   float64
+	markedBytes  float64
+	inRecovery   bool
+	recoverUntil netsim.Time
+}
+
+// dctcpG is the EWMA gain for the marking-fraction estimate (paper value 1/16).
+const dctcpG = 1.0 / 16
+
+// NewDCTCP returns a DCTCP controller with a 10-segment initial window.
+func NewDCTCP() *DCTCP {
+	return &DCTCP{cwnd: 10 * netsim.MSS, ssthresh: 1 << 62, alpha: 1}
+}
+
+// Start implements tcp.CongestionControl.
+func (d *DCTCP) Start(now netsim.Time) { d.windowEnd = now }
+
+// OnAck implements tcp.CongestionControl.
+func (d *DCTCP) OnAck(a tcp.AckInfo) {
+	d.srtt = a.SRTT
+	d.ackedBytes += float64(a.AckedBytes)
+	if a.ECE {
+		d.markedBytes += float64(a.AckedBytes)
+	}
+
+	// Once per RTT: fold the marked fraction into alpha and react.
+	if a.Now >= d.windowEnd {
+		if d.ackedBytes > 0 {
+			f := d.markedBytes / d.ackedBytes
+			d.alpha = (1-dctcpG)*d.alpha + dctcpG*f
+			if d.markedBytes > 0 {
+				d.cwnd *= 1 - d.alpha/2
+				if d.cwnd < 2*netsim.MSS {
+					d.cwnd = 2 * netsim.MSS
+				}
+				d.ssthresh = d.cwnd
+			}
+		}
+		d.ackedBytes, d.markedBytes = 0, 0
+		rtt := d.srtt
+		if rtt == 0 {
+			rtt = netsim.Millisecond
+		}
+		d.windowEnd = a.Now + rtt
+	}
+
+	if a.Now <= d.recoverUntil {
+		return
+	}
+	d.inRecovery = false
+	if d.cwnd < d.ssthresh {
+		d.cwnd += float64(a.AckedBytes) // slow start
+	} else {
+		d.cwnd += float64(netsim.MSS) * float64(a.AckedBytes) / d.cwnd // AI
+	}
+}
+
+// OnLoss implements tcp.CongestionControl: Reno-style halving.
+func (d *DCTCP) OnLoss(l tcp.LossInfo) {
+	if d.inRecovery && !l.Timeout {
+		return
+	}
+	d.cwnd /= 2
+	if l.Timeout {
+		d.cwnd = 2 * netsim.MSS
+	}
+	if d.cwnd < 2*netsim.MSS {
+		d.cwnd = 2 * netsim.MSS
+	}
+	d.ssthresh = d.cwnd
+	d.inRecovery = true
+	rtt := d.srtt
+	if rtt == 0 {
+		rtt = netsim.Millisecond
+	}
+	d.recoverUntil = l.Now + rtt
+}
+
+// PacingRate implements tcp.CongestionControl.
+func (d *DCTCP) PacingRate() int64 {
+	rtt := d.srtt
+	if rtt == 0 {
+		rtt = netsim.Millisecond
+	}
+	return int64(1.2 * d.cwnd * 8 / (float64(rtt) / 1e9))
+}
+
+// CwndBytes implements tcp.CongestionControl.
+func (d *DCTCP) CwndBytes() int { return int(d.cwnd) }
+
+var _ tcp.CongestionControl = (*DCTCP)(nil)

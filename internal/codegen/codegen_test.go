@@ -1,0 +1,290 @@
+package codegen
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+func auroraProgram(t *testing.T) (*nn.Network, *quant.Program) {
+	t.Helper()
+	net := nn.New([]int{10, 8, 4, 1}, []nn.Activation{nn.Tanh, nn.ReLU, nn.Linear}, 17)
+	return net, quant.Quantize(net, quant.DefaultConfig())
+}
+
+func TestGenerateProducesValidGo(t *testing.T) {
+	_, p := auroraProgram(t)
+	src, err := Generate(p, "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(src); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+	for _, want := range []string{
+		"func fc_0_comp", "func fc_1_comp", "func fc_2_comp",
+		"func Infer_aurora", "lut_0", "registerModel(\"aurora\"",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedModuleTypeChecks(t *testing.T) {
+	// Compile-analog: the generated module plus the runtime support source
+	// must form a type-correct package, like a .ko linking against the
+	// LiteFlow core module's exported symbols.
+	_, p := auroraProgram(t)
+	src, err := Generate(p, "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, s := range map[string]string{"snapshot.go": src, "runtime.go": RuntimeSource()} {
+		f, err := parser.ParseFile(fset, name, s, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("snapshot", fset, files, nil); err != nil {
+		t.Fatalf("generated module fails type check: %v", err)
+	}
+}
+
+func TestBuildRejectsBadName(t *testing.T) {
+	_, p := auroraProgram(t)
+	for _, bad := range []string{"", "1abc", "has space", "semi;colon", "dash-ed"} {
+		if _, err := Build(p, bad); err == nil {
+			t.Errorf("Build(%q) must fail", bad)
+		}
+	}
+}
+
+func TestBuildAcceptsValidNames(t *testing.T) {
+	_, p := auroraProgram(t)
+	for _, good := range []string{"aurora", "mocc_v2", "A1", "_x"} {
+		if _, err := Build(p, good); err != nil {
+			t.Errorf("Build(%q) failed: %v", good, err)
+		}
+	}
+}
+
+func TestValidateCatchesSyntaxErrors(t *testing.T) {
+	if err := Validate("package snapshot\nfunc broken( {"); err == nil {
+		t.Error("Validate must reject broken source")
+	}
+}
+
+// evalExpr evaluates the restricted expression language emitted by rowExpr:
+// integer literals, input[i] indexing, +, *, unary minus, and actv_<k>(...)
+// calls resolved through the quantized program's layers.
+func evalExpr(t *testing.T, e ast.Expr, input []int64, p *quant.Program) int64 {
+	t.Helper()
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		n, err := strconv.ParseInt(v.Value, 10, 64)
+		if err != nil {
+			t.Fatalf("bad literal %q: %v", v.Value, err)
+		}
+		return n
+	case *ast.ParenExpr:
+		return evalExpr(t, v.X, input, p)
+	case *ast.UnaryExpr:
+		x := evalExpr(t, v.X, input, p)
+		if v.Op.String() == "-" {
+			return -x
+		}
+		t.Fatalf("unsupported unary op %s", v.Op)
+	case *ast.IndexExpr:
+		idx := evalExpr(t, v.Index, input, p)
+		return input[idx]
+	case *ast.BinaryExpr:
+		x := evalExpr(t, v.X, input, p)
+		y := evalExpr(t, v.Y, input, p)
+		switch v.Op.String() {
+		case "+":
+			return x + y
+		case "*":
+			return x * y
+		}
+		t.Fatalf("unsupported binary op %s", v.Op)
+	case *ast.CallExpr:
+		name := v.Fun.(*ast.Ident).Name
+		if !strings.HasPrefix(name, "actv_") {
+			t.Fatalf("unsupported call %s", name)
+		}
+		li, err := strconv.Atoi(strings.TrimPrefix(name, "actv_"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := evalExpr(t, v.Args[0], input, p)
+		return applyActivation(p.Layers[li], acc)
+	}
+	t.Fatalf("unsupported expr %T", e)
+	return 0
+}
+
+// applyActivation reimplements the generated actv_<k> helpers using the
+// layer's exported table/scale data, so the test checks the *inlined
+// parameters* of the generated source independently.
+func applyActivation(l *quant.Layer, acc int64) int64 {
+	rescale := func(v, from, to int64) int64 {
+		if from == to {
+			return v
+		}
+		n := v * to
+		if n >= 0 {
+			return (n + from/2) / from
+		}
+		return (n - from/2) / from
+	}
+	switch l.Act {
+	case nn.Tanh, nn.Sigmoid:
+		tbl, lo, hi := l.TableData()
+		if acc <= lo {
+			return tbl[0]
+		}
+		if acc >= hi {
+			return tbl[len(tbl)-1]
+		}
+		span := hi - lo
+		num := (acc - lo) * int64(len(tbl)-1)
+		idx := num / span
+		rem := num % span
+		return tbl[idx] + (tbl[idx+1]-tbl[idx])*rem/span
+	case nn.ReLU:
+		if acc < 0 {
+			return 0
+		}
+		return rescale(acc, l.AccScale(), l.OutScale())
+	default:
+		return rescale(acc, l.AccScale(), l.OutScale())
+	}
+}
+
+// TestGeneratedSourceMatchesProgram interprets the generated per-layer
+// assignments and checks that, chained together, they reproduce the
+// in-memory Program's inference exactly on random inputs. This is the
+// "generated module computes what the snapshot computes" guarantee.
+func TestGeneratedSourceMatchesProgram(t *testing.T) {
+	_, p := auroraProgram(t)
+	src, err := Generate(p, "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "snapshot.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect the assignment expressions of each fc_<k>_comp function.
+	layerExprs := make(map[int][]ast.Expr)
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || !strings.HasPrefix(fd.Name.Name, "fc_") {
+			continue
+		}
+		parts := strings.Split(fd.Name.Name, "_")
+		li, err := strconv.Atoi(parts[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, stmt := range fd.Body.List {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			layerExprs[li] = append(layerExprs[li], as.Rhs[0])
+		}
+	}
+	if len(layerExprs) != len(p.Layers) {
+		t.Fatalf("found %d generated layers, want %d", len(layerExprs), len(p.Layers))
+	}
+
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		in := make([]float64, p.InputSize())
+		for i := range in {
+			in[i] = r.Float64()*2 - 1
+		}
+		qin := p.QuantizeInput(in, nil)
+
+		// Interpret the generated source layer by layer.
+		cur := qin
+		for li := 0; li < len(p.Layers); li++ {
+			next := make([]int64, len(layerExprs[li]))
+			for i, e := range layerExprs[li] {
+				next[i] = evalExpr(t, e, cur, p)
+			}
+			cur = next
+		}
+
+		// Run the in-memory program.
+		want := make([]int64, p.OutputSize())
+		p.Infer(qin, want)
+
+		for i := range want {
+			if cur[i] != want[i] {
+				t.Fatalf("trial %d output %d: generated source = %d, program = %d", trial, i, cur[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGenerateInlinesWeights(t *testing.T) {
+	// A known weight must appear verbatim in the source (Listing 2 style).
+	net := nn.New([]int{2, 1}, []nn.Activation{nn.Linear}, 1)
+	net.Layers[0].W[0][0] = 1.0 // becomes WeightScale exactly
+	cfg := quant.DefaultConfig()
+	p := quant.Quantize(net, cfg)
+	src, err := Generate(p, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "input[0]*" + strconv.FormatInt(cfg.WeightScale, 10)
+	if !strings.Contains(src, want) {
+		t.Errorf("source must inline weight as %q:\n%s", want, src)
+	}
+}
+
+func TestRuntimeSourceParses(t *testing.T) {
+	if err := Validate(RuntimeSource()); err != nil {
+		t.Fatalf("runtime source invalid: %v", err)
+	}
+}
+
+func TestModuleFields(t *testing.T) {
+	_, p := auroraProgram(t)
+	m, err := Build(p, "snap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "snap1" || m.Program != p || m.Source == "" {
+		t.Errorf("module fields wrong: %+v", m.Name)
+	}
+}
+
+func BenchmarkGenerateAurora(b *testing.B) {
+	net := nn.New([]int{30, 32, 16, 1}, []nn.Activation{nn.Tanh, nn.Tanh, nn.Linear}, 1)
+	p := quant.Quantize(net, quant.DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, "aurora"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package core implements LiteFlow itself (paper §3–§4): the kernel-space
+// core module — NN manager, inference router with active/standby snapshot
+// switching and a flow-consistency cache, and the collector/enforcer (IO
+// module) registry — plus the userspace service that drives the slow path:
+// batched online adaptation, convergence ("correctness") detection, fidelity
+// ("necessity") evaluation, and conservative snapshot installation.
+//
+// The paper's Table 1 API maps onto this package as:
+//
+//	lf_register_model → (*Core).RegisterModel
+//	lf_register_io    → (*Core).RegisterIO
+//	lf_unregister_io  → (*Core).UnregisterIO
+//	lf_query_model    → (*Core).QueryModel
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+// Model is an installed NN snapshot: a generated module plus its runtime
+// state in the NN manager (reference count from the flow cache, role flags).
+type Model struct {
+	Name    string
+	Module  *codegen.Module
+	prog    *quant.Program
+	refs    int
+	retired bool // replaced as active; unloadable once refs == 0
+}
+
+// InputSize returns the snapshot's input dimension.
+func (m *Model) InputSize() int { return m.prog.InputSize() }
+
+// OutputSize returns the snapshot's output dimension.
+func (m *Model) OutputSize() int { return m.prog.OutputSize() }
+
+// Program exposes the executable snapshot (integer-only inference).
+func (m *Model) Program() *quant.Program { return m.prog }
+
+// Refs returns the flow-cache reference count.
+func (m *Model) Refs() int { return m.refs }
+
+// IOModule describes a user-provided input collector & output enforcer
+// (paper §4.2): the kernel-side glue between a datapath function and the NN.
+// RegisterIO validates its declared dimensions against the installed model.
+type IOModule interface {
+	Name() string
+	InputSize() int
+	OutputSize() int
+}
+
+// Config tunes the framework's update policy.
+type Config struct {
+	// Alpha scales the necessity threshold: update only when the minimal
+	// fidelity loss exceeds Alpha·(Omax−Omin). Paper value: 5%.
+	Alpha float64
+	// OutMin/OutMax are the model's output range (Omax, Omin in the
+	// paper; for Aurora these are −1 and 1).
+	OutMin, OutMax float64
+	// StabilityWindow is how many consecutive batches the stability
+	// metric must stay within StabilityTolerance (relative range) before
+	// online adaptation counts as converged — the correctness gate.
+	StabilityWindow    int
+	StabilityTolerance float64
+	// FlowCacheTimeout evicts idle flow-cache entries. Zero disables the
+	// sweeper.
+	FlowCacheTimeout netsim.Time
+	// Quant configures snapshot generation.
+	Quant quant.Config
+}
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:              0.05,
+		OutMin:             -1,
+		OutMax:             1,
+		StabilityWindow:    5,
+		StabilityTolerance: 0.15,
+		FlowCacheTimeout:   10 * netsim.Second,
+		Quant:              quant.DefaultConfig(),
+	}
+}
+
+// Stats counts core-module activity.
+type Stats struct {
+	Queries        int64
+	CacheHits      int64
+	CacheMisses    int64
+	Switches       int64
+	Installs       int64
+	Unloads        int64
+	SweptEntries   int64
+	BlockedQueries int64
+}
+
+// Core is the kernel-space LiteFlow core module.
+type Core struct {
+	Eng   *netsim.Engine
+	CPU   *ksim.CPU // optional CPU accounting
+	Costs ksim.Costs
+	Cfg   Config
+
+	// NN manager state.
+	models []*Model
+
+	// Inference router state (paper §3.4). The paper guards the role swap
+	// with a spin lock held for three lines; the simulator is single-
+	// threaded, so the swap is a plain pointer assignment with the same
+	// semantics.
+	active  *Model
+	standby *Model
+
+	// Flow cache: flow ID → snapshot pinned for that flow.
+	cacheEnabled bool
+	cache        map[netsim.FlowID]*cacheEntry
+
+	ios map[string]IOModule
+
+	// lockedUntil models the naive blocking-install alternative (§3.4):
+	// while set in the future, fast-path queries stall until release.
+	lockedUntil netsim.Time
+
+	stats    Stats
+	sweeping bool
+}
+
+type cacheEntry struct {
+	model    *Model
+	lastUsed netsim.Time
+}
+
+// New returns a core module bound to eng. cpu may be nil to disable CPU
+// accounting (pure-algorithm tests).
+func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config) *Core {
+	c := &Core{
+		Eng: eng, CPU: cpu, Costs: costs, Cfg: cfg,
+		cacheEnabled: true,
+		cache:        make(map[netsim.FlowID]*cacheEntry),
+		ios:          make(map[string]IOModule),
+	}
+	if cfg.FlowCacheTimeout > 0 {
+		c.sweeping = true
+		c.scheduleSweep()
+	}
+	return c
+}
+
+// SetFlowCache enables or disables flow-consistency caching (the paper lets
+// users disable it for functions that do not need it, e.g. per-packet load
+// balancing decisions).
+func (c *Core) SetFlowCache(enabled bool) {
+	c.cacheEnabled = enabled
+	if !enabled {
+		for f := range c.cache {
+			c.dropEntry(f)
+		}
+	}
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Models returns the number of loaded snapshot modules.
+func (c *Core) Models() int { return len(c.models) }
+
+// Active returns the active snapshot, or nil before the first registration.
+func (c *Core) Active() *Model { return c.active }
+
+// RegisterModel is lf_register_model: it loads a generated module into the
+// NN manager. The first registered model becomes active immediately; later
+// registrations become the standby snapshot, awaiting Activate.
+func (c *Core) RegisterModel(mod *codegen.Module) (*Model, error) {
+	if mod == nil || mod.Program == nil {
+		return nil, errors.New("core: nil module")
+	}
+	if c.active != nil {
+		if mod.Program.InputSize() != c.active.InputSize() ||
+			mod.Program.OutputSize() != c.active.OutputSize() {
+			return nil, fmt.Errorf("core: module %q dims %dx%d do not match active %dx%d",
+				mod.Name, mod.Program.InputSize(), mod.Program.OutputSize(),
+				c.active.InputSize(), c.active.OutputSize())
+		}
+	}
+	m := &Model{Name: mod.Name, Module: mod, prog: mod.Program}
+	c.models = append(c.models, m)
+	c.stats.Installs++
+	if c.active == nil {
+		c.active = m
+	} else {
+		// Replacing an un-activated standby retires it immediately.
+		if c.standby != nil {
+			c.standby.retired = true
+		}
+		c.standby = m
+	}
+	c.unloadDead()
+	return m, nil
+}
+
+// Activate is the inference router's role switch: the standby snapshot
+// becomes active. Existing cached flows keep their pinned snapshot (flow
+// consistency); new flows use the new active. It returns an error when no
+// standby is installed.
+func (c *Core) Activate() error {
+	if c.standby == nil {
+		return errors.New("core: no standby snapshot to activate")
+	}
+	old := c.active
+	c.active = c.standby
+	c.standby = nil
+	if old != nil {
+		old.retired = true
+	}
+	c.stats.Switches++
+	c.unloadDead()
+	return nil
+}
+
+// InstallBlocking replaces the active snapshot the naive way the paper warns
+// against (§3.4): one lock held across the entire parameter transfer and
+// module initialization, stalling every fast-path query for installTime.
+// It exists as the measurable baseline for the active-standby-switch
+// ablation; production code should use RegisterModel + Activate, whose
+// role switch costs a pointer swap.
+func (c *Core) InstallBlocking(mod *codegen.Module, installTime netsim.Time) error {
+	if _, err := c.RegisterModel(mod); err != nil {
+		return err
+	}
+	if err := c.Activate(); err != nil {
+		return err
+	}
+	if c.CPU != nil {
+		c.CPU.Charge(ksim.Kernel, installTime)
+	}
+	until := c.Eng.Now() + installTime
+	if until > c.lockedUntil {
+		c.lockedUntil = until
+	}
+	return nil
+}
+
+// LockRemaining returns how long fast-path queries remain stalled by a
+// blocking install (0 when unlocked).
+func (c *Core) LockRemaining() netsim.Time {
+	if rem := c.lockedUntil - c.Eng.Now(); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// RegisterIO is lf_register_io: it attaches an input collector & output
+// enforcer module after validating its declared NN dimensions against the
+// installed model (paper §4.2).
+func (c *Core) RegisterIO(io IOModule) error {
+	if io == nil {
+		return errors.New("core: nil IO module")
+	}
+	if _, dup := c.ios[io.Name()]; dup {
+		return fmt.Errorf("core: IO module %q already registered", io.Name())
+	}
+	if c.active == nil {
+		return errors.New("core: no model installed")
+	}
+	if io.InputSize() != c.active.InputSize() || io.OutputSize() != c.active.OutputSize() {
+		return fmt.Errorf("core: IO module %q requires %dx%d, model is %dx%d",
+			io.Name(), io.InputSize(), io.OutputSize(),
+			c.active.InputSize(), c.active.OutputSize())
+	}
+	c.ios[io.Name()] = io
+	return nil
+}
+
+// UnregisterIO is lf_unregister_io.
+func (c *Core) UnregisterIO(name string) error {
+	if _, ok := c.ios[name]; !ok {
+		return fmt.Errorf("core: IO module %q not registered", name)
+	}
+	delete(c.ios, name)
+	return nil
+}
+
+// IOModules returns the number of registered IO modules.
+func (c *Core) IOModules() int { return len(c.ios) }
+
+// QueryModel is lf_query_model, the unified inference interface: it resolves
+// the snapshot for the flow through the router (honoring the flow cache),
+// charges the kernel inference cost, and runs integer inference in to out.
+func (c *Core) QueryModel(flow netsim.FlowID, in, out []int64) error {
+	m := c.lookup(flow)
+	if m == nil {
+		return errors.New("core: no model installed")
+	}
+	c.stats.Queries++
+	if c.CPU != nil {
+		c.CPU.Charge(ksim.Kernel, ksim.InferCost(c.Costs.KernelInferPerMAC, m.prog.MACs()))
+	}
+	m.prog.Infer(in, out)
+	return nil
+}
+
+// lookup resolves the model serving a flow, maintaining the flow cache and
+// reference counts (paper §3.4).
+func (c *Core) lookup(flow netsim.FlowID) *Model {
+	if !c.cacheEnabled {
+		return c.active
+	}
+	if e, ok := c.cache[flow]; ok {
+		c.stats.CacheHits++
+		e.lastUsed = c.Eng.Now()
+		return e.model
+	}
+	if c.active == nil {
+		return nil
+	}
+	c.stats.CacheMisses++
+	c.active.refs++
+	c.cache[flow] = &cacheEntry{model: c.active, lastUsed: c.Eng.Now()}
+	return c.active
+}
+
+// FlowFinished removes a flow's cache entry (TCP FIN handling).
+func (c *Core) FlowFinished(flow netsim.FlowID) {
+	c.dropEntry(flow)
+}
+
+func (c *Core) dropEntry(flow netsim.FlowID) {
+	e, ok := c.cache[flow]
+	if !ok {
+		return
+	}
+	delete(c.cache, flow)
+	e.model.refs--
+	c.unloadDead()
+}
+
+// CachedFlows returns the number of live flow-cache entries.
+func (c *Core) CachedFlows() int { return len(c.cache) }
+
+// unloadDead removes retired models whose reference count reached zero — the
+// paper's rule that a NN module can be removed only at refcount 0.
+func (c *Core) unloadDead() {
+	kept := c.models[:0]
+	for _, m := range c.models {
+		if m.retired && m.refs <= 0 && m != c.active && m != c.standby {
+			c.stats.Unloads++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	c.models = kept
+}
+
+func (c *Core) scheduleSweep() {
+	c.Eng.After(c.Cfg.FlowCacheTimeout, func() {
+		if !c.sweeping {
+			return
+		}
+		cutoff := c.Eng.Now() - c.Cfg.FlowCacheTimeout
+		for f, e := range c.cache {
+			if e.lastUsed < cutoff {
+				c.dropEntry(f)
+				c.stats.SweptEntries++
+			}
+		}
+		c.scheduleSweep()
+	})
+}
+
+// StopSweeper halts the idle-entry sweeper (experiment teardown).
+func (c *Core) StopSweeper() { c.sweeping = false }
+
+// FlowBackend adapts the core to the cc.Backend interface for one flow:
+// queries run through lf_query_model against the flow's pinned snapshot,
+// synchronously, at kernel inference cost — the LiteFlow fast path.
+type FlowBackend struct {
+	Core *Core
+	Flow netsim.FlowID
+
+	in  []int64
+	out []int64
+}
+
+// NewFlowBackend returns a fast-path inference backend for the given flow.
+func NewFlowBackend(c *Core, flow netsim.FlowID) *FlowBackend {
+	return &FlowBackend{Core: c, Flow: flow}
+}
+
+// Query implements the cc.Backend contract (structurally; cc is not
+// imported): quantize, infer through the router, dequantize, reply inline.
+// While a blocking install holds the router lock, the query stalls until
+// release — the datapath interference the active-standby design eliminates.
+func (b *FlowBackend) Query(state []float64, reply func(action float64)) {
+	if rem := b.Core.LockRemaining(); rem > 0 {
+		b.Core.stats.BlockedQueries++
+		b.Core.Eng.After(rem, func() { b.Query(state, reply) })
+		return
+	}
+	m := b.Core.lookup(b.Flow)
+	if m == nil {
+		reply(0)
+		return
+	}
+	if cap(b.in) < len(state) {
+		b.in = make([]int64, len(state))
+		b.out = make([]int64, m.OutputSize())
+	}
+	b.in = b.in[:len(state)]
+	prog := m.prog
+	for i, x := range state {
+		b.in[i] = int64(x * float64(prog.InputScale))
+	}
+	b.Core.stats.Queries++
+	if b.Core.CPU != nil {
+		b.Core.CPU.Charge(ksim.Kernel, ksim.InferCost(b.Core.Costs.KernelInferPerMAC, prog.MACs()))
+	}
+	prog.Infer(b.in, b.out[:prog.OutputSize()])
+	a := float64(b.out[0]) / float64(prog.OutputScale)
+	if a > 1 {
+		a = 1
+	}
+	if a < -1 {
+		a = -1
+	}
+	reply(a)
+}

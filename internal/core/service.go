@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+
+	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+// Sample is one kernel-collected training record: the NN input plus whatever
+// auxiliary signals the user's tuning algorithm needs (rewards, labels,
+// utilization — LiteFlow does not interpret Aux).
+type Sample struct {
+	Input []float64
+	Aux   []float64
+	At    netsim.Time
+}
+
+// EncodeSample packs a sample into a netlink message.
+func EncodeSample(s Sample) netlink.Message {
+	data := make([]float64, 0, 1+len(s.Input)+len(s.Aux))
+	data = append(data, float64(len(s.Input)))
+	data = append(data, s.Input...)
+	data = append(data, s.Aux...)
+	return netlink.Message{Kind: netlink.KindSample, Data: data, At: s.At}
+}
+
+// DecodeSample unpacks a netlink message produced by EncodeSample. It
+// returns false for malformed payloads rather than panicking: the channel
+// boundary is where a real kernel would validate userspace-visible data.
+func DecodeSample(m netlink.Message) (Sample, bool) {
+	if len(m.Data) < 1 {
+		return Sample{}, false
+	}
+	n := int(m.Data[0])
+	if n < 0 || 1+n > len(m.Data) {
+		return Sample{}, false
+	}
+	return Sample{
+		Input: m.Data[1 : 1+n],
+		Aux:   m.Data[1+n:],
+		At:    m.At,
+	}, true
+}
+
+// The three user interfaces of the userspace service (paper §4.1). LiteFlow
+// is not tied to any learning framework: users implement these with whatever
+// tooling they like.
+
+// Freezer is the NN Freezing Interface: it returns the current userspace
+// model for snapshot generation.
+type Freezer interface {
+	Freeze() *nn.Network
+}
+
+// Evaluator is the NN Evaluation Interface: a stability value monitored for
+// convergence (e.g. training loss), and userspace inference for fidelity
+// comparison against the kernel snapshot.
+type Evaluator interface {
+	Stability() float64
+	Infer(in []float64) []float64
+}
+
+// Adapter is the NN Online Adaptation Interface: tune the userspace model
+// with one batch of kernel-collected samples.
+type Adapter interface {
+	Adapt(batch []Sample)
+}
+
+// ServiceStats counts slow-path activity.
+type ServiceStats struct {
+	Batches            int64
+	Samples            int64
+	Converged          int64 // batches that passed the correctness gate
+	FidelityChecks     int64
+	Updates            int64 // snapshots actually installed
+	SkippedByNecessity int64
+	LastFidelity       float64
+	LastStability      float64
+}
+
+// Service is the LiteFlow userspace service: it receives batched training
+// data over the netlink channel, drives the user's Adapter, and decides
+// snapshot synchronization from correctness (convergence) and necessity
+// (fidelity loss) — paper §3.2–§3.4.
+type Service struct {
+	Core *Core
+	Chan *netlink.Channel
+
+	Freezer   Freezer
+	Evaluator Evaluator
+	Adapter   Adapter
+
+	// NamePrefix names generated snapshot modules (suffix is a counter).
+	NamePrefix string
+
+	// OnUpdate, when set, observes each snapshot install.
+	OnUpdate func(m *Model)
+
+	stabilityHist []float64
+	snapCount     int
+	installing    bool
+	stats         ServiceStats
+}
+
+// NewService wires a service to the core and its netlink channel. The
+// channel's delivery callback is replaced; call StartBatching on the channel
+// (or Service.Start) to begin periodic delivery.
+func NewService(c *Core, ch *netlink.Channel, f Freezer, e Evaluator, a Adapter) *Service {
+	s := &Service{Core: c, Chan: ch, Freezer: f, Evaluator: e, Adapter: a, NamePrefix: "snapshot"}
+	ch.SetDeliver(s.HandleBatch)
+	return s
+}
+
+// Start begins batched data delivery every interval (the paper's T,
+// recommended 100 ms–1000 ms; §5.1's micro-benchmark).
+func (s *Service) Start(interval netsim.Time) {
+	s.Chan.StartBatching(interval)
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() ServiceStats { return s.stats }
+
+// HandleBatch processes one delivered batch: adapt, then evaluate
+// synchronization. It is exposed so hosts can wire it as the channel's
+// delivery callback.
+func (s *Service) HandleBatch(batch []netlink.Message) {
+	samples := make([]Sample, 0, len(batch))
+	for _, m := range batch {
+		if m.Kind != netlink.KindSample {
+			continue
+		}
+		if sm, ok := DecodeSample(m); ok {
+			samples = append(samples, sm)
+		}
+	}
+	if len(samples) == 0 {
+		return
+	}
+	s.stats.Batches++
+	s.stats.Samples += int64(len(samples))
+
+	s.Adapter.Adapt(samples)
+	s.stats.LastStability = s.Evaluator.Stability()
+
+	if !s.converged() {
+		return
+	}
+	s.stats.Converged++
+	s.evaluateNecessity(samples)
+}
+
+// converged applies the correctness gate: the stability metric must stay
+// within a relative tolerance band across the configured window.
+func (s *Service) converged() bool {
+	s.stabilityHist = append(s.stabilityHist, s.stats.LastStability)
+	w := s.Core.Cfg.StabilityWindow
+	if len(s.stabilityHist) > w {
+		s.stabilityHist = s.stabilityHist[len(s.stabilityHist)-w:]
+	}
+	if len(s.stabilityHist) < w {
+		return false
+	}
+	lo, hi := s.stabilityHist[0], s.stabilityHist[0]
+	for _, v := range s.stabilityHist[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := math.Max(math.Abs(hi), math.Abs(lo))
+	if scale < 1e-12 {
+		return true
+	}
+	return (hi-lo)/scale <= s.Core.Cfg.StabilityTolerance
+}
+
+// evaluateNecessity computes the minimal fidelity loss over the batch.
+// Kernel snapshot outputs must travel to userspace: the service sends the
+// inputs down and the outputs come back, both charged as cross-space work
+// (the second netlink message type of §4.2). The snapshot is updated only
+// when min L(x) exceeds α·(Omax−Omin).
+func (s *Service) evaluateNecessity(samples []Sample) {
+	if s.installing {
+		return // an install is already in flight
+	}
+	s.stats.FidelityChecks++
+
+	payload := 0
+	for _, sm := range samples {
+		payload += 8 * len(sm.Input)
+	}
+	s.Chan.SendToKernel(payload, func() {
+		minLoss := math.Inf(1)
+		active := s.Core.Active()
+		if active == nil {
+			return
+		}
+		prog := active.Program()
+		in := make([]int64, prog.InputSize())
+		out := make([]int64, prog.OutputSize())
+		for _, sm := range samples {
+			if len(sm.Input) != prog.InputSize() {
+				continue
+			}
+			// Kernel-side snapshot output f'(x).
+			prog.QuantizeInput(sm.Input, in)
+			if s.Core.CPU != nil {
+				s.Core.CPU.Charge(ksim.Kernel, ksim.InferCost(s.Core.Costs.KernelInferPerMAC, prog.MACs()))
+			}
+			prog.Infer(in, out)
+			kernelOut := prog.DequantizeOutput(out, nil)
+			// Userspace output f(x).
+			userOut := s.Evaluator.Infer(sm.Input)
+			l := 0.0
+			for i := range userOut {
+				if i < len(kernelOut) {
+					l += math.Abs(kernelOut[i] - userOut[i])
+				}
+			}
+			if l < minLoss {
+				minLoss = l
+			}
+		}
+		if math.IsInf(minLoss, 1) {
+			return
+		}
+		// Response crosses back to userspace.
+		if s.Core.CPU != nil {
+			s.Core.CPU.Charge(ksim.SoftIRQ, s.Core.Costs.CrossSpace)
+		}
+		s.Core.Eng.After(s.Core.Costs.CrossSpaceLatency, func() {
+			s.stats.LastFidelity = minLoss
+			threshold := s.Core.Cfg.Alpha * (s.Core.Cfg.OutMax - s.Core.Cfg.OutMin)
+			if minLoss <= threshold {
+				s.stats.SkippedByNecessity++
+				return
+			}
+			s.installSnapshot()
+		})
+	})
+}
+
+// installSnapshot freezes the userspace model, generates a quantized module,
+// ships it to the kernel as the standby snapshot, and switches roles — the
+// active-standby-switch of §3.4. The datapath keeps using the old active
+// snapshot for the whole install.
+func (s *Service) installSnapshot() {
+	s.installing = true
+	net := s.Freezer.Freeze()
+	prog := quant.Quantize(net, s.Core.Cfg.Quant)
+	s.snapCount++
+	name := fmt_name(s.NamePrefix, s.snapCount)
+	mod, err := codegen.Build(prog, name)
+	if err != nil {
+		// Generated modules are validated; a failure here is a programming
+		// error surfaced loudly in tests.
+		panic("core: snapshot generation failed: " + err.Error())
+	}
+	paramBytes := prog.NumParams() * 8
+	s.Chan.SendToKernel(paramBytes, func() {
+		// Kernel-side module install (insmod): charged per parameter, but
+		// the active snapshot keeps serving inference throughout.
+		if s.Core.CPU != nil {
+			s.Core.CPU.Charge(ksim.Kernel,
+				s.Core.Costs.SnapshotInstallPerParam*netsim.Time(prog.NumParams()))
+		}
+		m, err := s.Core.RegisterModel(mod)
+		if err != nil {
+			s.installing = false
+			return
+		}
+		if err := s.Core.Activate(); err != nil {
+			s.installing = false
+			return
+		}
+		s.stats.Updates++
+		s.installing = false
+		if s.OnUpdate != nil {
+			s.OnUpdate(m)
+		}
+	})
+}
+
+func fmt_name(prefix string, n int) string {
+	// Small and allocation-cheap; names are identifiers (validated by
+	// codegen.Build).
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "_0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return prefix + "_" + string(buf[i:])
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/liteflow-sim/liteflow/internal/cc"
+	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/lb"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+	"github.com/liteflow-sim/liteflow/internal/topo"
+	"github.com/liteflow-sim/liteflow/internal/workload"
+)
+
+// mlpUser implements the LiteFlow userspace interfaces for the LB MLP: the
+// adapter fits one-hot path labels produced by the congestion oracle on the
+// features observed in each batch. Aux layout: one-hot best path.
+type mlpUser struct {
+	net      *nn.Network
+	opt      nn.Optimizer
+	lastLoss float64
+}
+
+func (u *mlpUser) Freeze() *nn.Network          { return u.net }
+func (u *mlpUser) Stability() float64           { return u.lastLoss }
+func (u *mlpUser) Infer(in []float64) []float64 { return u.net.Infer(in) }
+func (u *mlpUser) Adapt(batch []core.Sample) {
+	x := make([][]float64, 0, len(batch))
+	y := make([][]float64, 0, len(batch))
+	for _, s := range batch {
+		if len(s.Aux) != u.net.OutputSize() {
+			continue
+		}
+		x = append(x, s.Input)
+		y = append(y, s.Aux)
+	}
+	if len(x) == 0 {
+		return
+	}
+	for e := 0; e < 30; e++ {
+		u.lastLoss = nn.TrainBatch(u.net, u.opt, x, y, 5)
+	}
+}
+
+// dctcpFeedback wraps DCTCP and accumulates the flow's ECN echo fraction and
+// average RTT — the congestion signals the path selection module collects.
+type dctcpFeedback struct {
+	*cc.DCTCP
+	acks, eces int
+	rttSum     netsim.Time
+}
+
+func (d *dctcpFeedback) OnAck(a tcp.AckInfo) {
+	d.acks++
+	if a.ECE {
+		d.eces++
+	}
+	d.rttSum += a.RTT
+	d.DCTCP.OnAck(a)
+}
+
+func (d *dctcpFeedback) stats() (ecnFrac float64, avgRTT netsim.Time) {
+	if d.acks == 0 {
+		return 0, 0
+	}
+	return float64(d.eces) / float64(d.acks), d.rttSum / netsim.Time(d.acks)
+}
+
+// Fig17 reproduces Figure 17: FCT by flow class on the 2×2 spine–leaf fabric
+// (8 hosts) under LF-MLP, char-MLP, ECMP, and LF-MLP-N-O-A. Mid-run the
+// fabric's ECN marking is disabled (regime shift): the frozen model goes
+// blind, the adapted LF-MLP relearns to read RTT, and char-MLP additionally
+// pays continuous cross-space monitoring overhead.
+func Fig17(cfg Config) Result {
+	res := Result{ID: "fig17", Title: "Load balancing FCT by class (µs)",
+		XLabel: "class (0=short 1=mid 2=long)", YLabel: "avg FCT µs"}
+	numFlows := cfg.count(3000)
+	for _, name := range []string{"LF-MLP", "char-MLP", "ECMP", "LF-MLP-N-O-A"} {
+		b := runFig17Scheme(cfg, name, numFlows)
+		s := Series{Name: name}
+		for c := 0; c < 3; c++ {
+			s.X = append(s.X, float64(c))
+			s.Y = append(s.Y, b.dists[c].Mean())
+		}
+		res.Series = append(res.Series, s)
+		res.Notes = append(res.Notes, fmt.Sprintf("%s: mean short %.0fµs mid %.0fµs long %.0fµs | median %.0f/%.0f/%.0fµs (n=%d/%d/%d)",
+			name, b.dists[0].Mean(), b.dists[1].Mean(), b.dists[2].Mean(),
+			b.dists[0].Median(), b.dists[1].Median(), b.dists[2].Median(),
+			b.dists[0].N(), b.dists[1].N(), b.dists[2].N()))
+	}
+	return res
+}
+
+func runFig17Scheme(cfg Config, name string, numFlows int) *fctBuckets {
+	eng := netsim.NewEngine()
+	opts := topo.DefaultSpineLeafOpts(4) // 8 hosts
+	// A congestible fabric with asymmetric path quality: spine 0's links
+	// run degraded at 3 Gbps (a part-failed LAG, a common data-center
+	// pathology), spine 1 at the full 10 Gbps. Intelligent path selection
+	// matters exactly when paths are unequal; under symmetric paths ECMP
+	// is already near-optimal and the comparison is vacuous.
+	opts.FabricLinkBps = 10e9
+	sl := topo.NewSpineLeaf(eng, opts)
+	for _, leaf := range sl.Leaves {
+		leaf.Port(topo.SpineIDBase).SetRate(3e9)
+	}
+	for l := range sl.Leaves {
+		sl.Spines[0].Port(topo.LeafIDBase + l).SetRate(3e9)
+	}
+	costs := ksim.DefaultCosts()
+	sl.AttachCPUs(8, costs)
+	paths := len(sl.Spines)
+
+	r := rand.New(rand.NewSource(cfg.Seed + 30))
+	flows := workload.Generate(r, numFlows, len(sl.Hosts), 0.15, opts.HostLinkBps, workload.WebSearch())
+	shiftAt := flows[numFlows/2].At
+	batchT := flows[len(flows)-1].At / 20
+	if batchT < 5*netsim.Millisecond {
+		batchT = 5 * netsim.Millisecond
+	}
+	if batchT > 100*netsim.Millisecond {
+		batchT = 100 * netsim.Millisecond
+	}
+
+	// The userspace model, trained in the ECN-visible regime.
+	net := lb.NewMLP(paths, cfg.Seed+31)
+	lb.Train(net, paths, 400, 1e-2, 1.0, cfg.Seed+32)
+	user := &mlpUser{net: net, opt: nn.NewAdam(1e-2), lastLoss: 1}
+
+	monitor := lb.NewPathMonitor(paths)
+
+	var lf *core.Core
+	var ch *netlink.Channel
+	var kernelSel func(feats []float64, reply func(int))
+	var userSel *lb.UserSelector
+	ecmp := &lb.ECMPSelector{Paths: paths}
+	var charBatch []lb.Sample // char-MLP's userspace adaptation buffer
+
+	switch name {
+	case "LF-MLP", "LF-MLP-N-O-A":
+		coreCfg := core.DefaultConfig()
+		coreCfg.OutMin, coreCfg.OutMax = 0, 1
+		coreCfg.StabilityWindow = 2
+		coreCfg.StabilityTolerance = 1.0
+		lf = core.New(eng, nil, costs, coreCfg)
+		// Per-flow decisions are one-shot: the flow cache adds nothing.
+		lf.SetFlowCache(false)
+		mod, err := codegen.Build(quant.Quantize(net.Clone(), coreCfg.Quant), "lbmlp0")
+		if err != nil {
+			panic(err)
+		}
+		if _, err := lf.RegisterModel(mod); err != nil {
+			panic(err)
+		}
+		in := make([]int64, lb.InputDim(paths))
+		out := make([]int64, paths)
+		jit := rand.New(rand.NewSource(cfg.Seed + 33))
+		kernelSel = func(feats []float64, reply func(int)) {
+			prog := lf.Active().Program()
+			prog.QuantizeInput(feats, in)
+			if err := lf.QueryModel(0, in, out); err != nil {
+				reply(0)
+				return
+			}
+			best := 0
+			for i := range out {
+				if out[i] > out[best] {
+					best = i
+				}
+			}
+			cost := ksim.InferCost(costs.KernelInferPerMAC, prog.MACs())
+			eng.After(cost+netsim.Time(jit.Int63n(int64(cost)+1)), func() { reply(best) })
+		}
+		if name == "LF-MLP" {
+			ch = netlink.New(eng, sl.Hosts[0].CPU, costs, nil)
+			_ = ch
+			svc := core.NewService(lf, ch, user, user, user)
+			svc.Start(batchT)
+		}
+	case "char-MLP":
+		// Selector latency only; the per-host cost is the continuous
+		// kernel→user path-state sync every host pays (the overhead that
+		// drops char-MLP below plain ECMP in the paper).
+		userSel = lb.NewUserSelector(eng, nil, costs, net)
+		for _, h := range sl.Hosts {
+			h := h
+			var monitorTick func()
+			monitorTick = func() {
+				eng.After(200*netsim.Microsecond, func() {
+					h.CPU.Charge(ksim.SoftIRQ, costs.CrossSpace)
+					h.CPU.Charge(ksim.Kernel, costs.CharDevPerMsg)
+					monitorTick()
+				})
+			}
+			monitorTick()
+		}
+		// char-MLP adapts its userspace model directly.
+		opt := nn.NewAdam(1e-2)
+		var retrain func()
+		retrain = func() {
+			eng.After(batchT, func() {
+				if len(charBatch) > 0 {
+					x := make([][]float64, len(charBatch))
+					y := make([][]float64, len(charBatch))
+					for i, s := range charBatch {
+						x[i] = s.Features
+						t := make([]float64, paths)
+						t[s.Best] = 1
+						y[i] = t
+					}
+					for e := 0; e < 30; e++ {
+						nn.TrainBatch(net, opt, x, y, 5)
+					}
+					charBatch = charBatch[:0]
+				}
+				retrain()
+			})
+		}
+		retrain()
+	}
+
+	// Regime shift: disable ECN marking fabric-wide. Congestion then shows
+	// up as RTT inflation instead of marks.
+	disable := func(l *netsim.Link) {
+		if l == nil {
+			return
+		}
+		if q, ok := l.Queue().(*netsim.DropTail); ok {
+			q.MarkBytes = 0
+		}
+	}
+	eng.At(shiftAt, func() {
+		for _, leaf := range sl.Leaves {
+			for hid := range sl.Hosts {
+				disable(leaf.Port(hid))
+			}
+			for s := range sl.Spines {
+				disable(leaf.Port(topo.SpineIDBase + s))
+			}
+		}
+		for _, spine := range sl.Spines {
+			for l := range sl.Leaves {
+				disable(spine.Port(topo.LeafIDBase + l))
+			}
+		}
+		for _, h := range sl.Hosts {
+			disable(h.Egress())
+		}
+	})
+
+	buckets := newFCTBuckets()
+	for idx, fs := range flows {
+		fs := fs
+		flowID := netsim.FlowID(idx + 1)
+		eng.At(fs.At, func() {
+			src := sl.Hosts[fs.Src]
+			dst := sl.Hosts[fs.Dst]
+			sizeNorm := float64(fs.Size) / 1e7
+			if sizeNorm > 1 {
+				sizeNorm = 1
+			}
+			feats := monitor.Features(sizeNorm)
+			ctrl := &dctcpFeedback{DCTCP: cc.NewDCTCP()}
+			snd := tcp.NewSender(src, flowID, dst.ID, fs.Size, ctrl)
+			rcv := tcp.NewReceiver(dst, flowID, src.ID)
+			_ = rcv
+
+			start := func(path int) {
+				snd.Path = sl.PathVia(src.ID, dst.ID, path)
+				snd.OnComplete = func(fct netsim.Time) {
+					buckets.add(fs.Size, fct)
+					ecnFrac, avgRTT := ctrl.stats()
+					monitor.Observe(path, ecnFrac, avgRTT)
+					// Feed the adaptation loop with oracle-labeled data.
+					best := lb.BestPath(monitor.Features(sizeNorm), paths)
+					switch name {
+					case "LF-MLP":
+						oneHot := make([]float64, paths)
+						oneHot[best] = 1
+						ch.Push(core.EncodeSample(core.Sample{Input: feats, Aux: oneHot, At: eng.Now()}))
+					case "char-MLP":
+						charBatch = append(charBatch, lb.Sample{Features: feats, Best: best})
+					}
+				}
+				snd.Start()
+			}
+
+			switch name {
+			case "LF-MLP", "LF-MLP-N-O-A":
+				kernelSel(feats, start)
+			case "char-MLP":
+				userSel.Select(feats, start)
+			default:
+				ecmp.Select(feats, start)
+			}
+		})
+	}
+
+	// Run until the workload drains (or a generous cap).
+	done := func() int { return buckets.dists[0].N() + buckets.dists[1].N() + buckets.dists[2].N() }
+	deadline := flows[len(flows)-1].At + 60*netsim.Second
+	for eng.Now() < deadline && done() < numFlows {
+		eng.RunUntil(eng.Now() + netsim.Second)
+	}
+	if ch != nil {
+		ch.StopBatching()
+	}
+	if lf != nil {
+		lf.StopSweeper()
+	}
+	return buckets
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/liteflow-sim/liteflow/internal/cc"
+	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+	"github.com/liteflow-sim/liteflow/internal/sched"
+	"github.com/liteflow-sim/liteflow/internal/stats"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+	"github.com/liteflow-sim/liteflow/internal/topo"
+	"github.com/liteflow-sim/liteflow/internal/workload"
+)
+
+// Fig15 reproduces Figure 15: the per-prediction latency CDF of the three
+// FFNN deployments. LF-FFNN answers in-kernel at integer-inference cost;
+// char-FFNN and netlink-FFNN pay a round trip each.
+func Fig15(cfg Config) Result {
+	res := Result{ID: "fig15", Title: "Flow-size prediction latency CDF",
+		XLabel: "latency µs", YLabel: "CDF"}
+	eng := netsim.NewEngine()
+	costs := ksim.DefaultCosts()
+	net := trainedFFNN(cfg)
+	prog := quant.Quantize(net, quant.DefaultConfig())
+
+	preds := []struct {
+		name string
+		p    sched.Predictor
+	}{
+		{"LF-FFNN", sched.NewKernelPredictor(eng, nil, costs, prog)},
+		{"char-FFNN", sched.NewUserPredictor(eng, nil, costs, net, sched.CharDev)},
+		{"netlink-FFNN", sched.NewUserPredictor(eng, nil, costs, net, sched.Netlink)},
+	}
+	fm := sched.NewFeatureModel(cfg.Seed + 9)
+	dist := workload.WebSearch()
+	r := rand.New(rand.NewSource(cfg.Seed + 10))
+	n := cfg.count(2000)
+	for _, pr := range preds {
+		d := stats.NewDist(n)
+		for i := 0; i < n; i++ {
+			lat := pr.p.Predict(fm.Features(dist.Sample(r)), func(int) {})
+			d.Add(float64(lat) / 1e3)
+		}
+		eng.Run()
+		s := Series{Name: pr.name}
+		for _, p := range d.CDF(20) {
+			s.X = append(s.X, p.X)
+			s.Y = append(s.Y, p.F)
+		}
+		res.Series = append(res.Series, s)
+		res.Notes = append(res.Notes, fmt.Sprintf("%s: mean %.2f µs, p99 %.2f µs",
+			pr.name, d.Mean(), d.Quantile(0.99)))
+	}
+	return res
+}
+
+// trainedFFNN returns an FFNN fitted on the undrifted web-search feature
+// distribution.
+func trainedFFNN(cfg Config) *nn.Network {
+	net := sched.NewFFNN(cfg.Seed)
+	fm := sched.NewFeatureModel(cfg.Seed + 1)
+	dist := workload.WebSearch()
+	r := rand.New(rand.NewSource(cfg.Seed + 2))
+	var feats [][]float64
+	var sizes []int64
+	for i := 0; i < 512; i++ {
+		s := dist.Sample(r)
+		sizes = append(sizes, s)
+		feats = append(feats, fm.Features(s))
+	}
+	sched.Train(net, feats, sizes, 600, 1e-2)
+	return net
+}
+
+// ffnnUser implements the LiteFlow userspace interfaces for the FFNN: the
+// adapter regresses on (features → log size) samples collected from
+// completed flows. Aux layout: [Target(size)].
+type ffnnUser struct {
+	net      *nn.Network
+	opt      nn.Optimizer
+	lastLoss float64
+}
+
+func (u *ffnnUser) Freeze() *nn.Network          { return u.net }
+func (u *ffnnUser) Stability() float64           { return u.lastLoss }
+func (u *ffnnUser) Infer(in []float64) []float64 { return u.net.Infer(in) }
+func (u *ffnnUser) Adapt(batch []core.Sample) {
+	x := make([][]float64, 0, len(batch))
+	y := make([][]float64, 0, len(batch))
+	for _, s := range batch {
+		if len(s.Aux) < 1 {
+			continue
+		}
+		x = append(x, s.Input)
+		y = append(y, []float64{s.Aux[0]})
+	}
+	if len(x) == 0 {
+		return
+	}
+	for e := 0; e < 30; e++ {
+		u.lastLoss = nn.TrainBatch(u.net, u.opt, x, y, 5)
+	}
+}
+
+// corePredictor resolves priorities through the LiteFlow core module
+// (lf_query_model), so snapshot updates and the flow cache are exercised.
+type corePredictor struct {
+	eng  *netsim.Engine
+	c    *core.Core
+	in   []int64
+	out  []int64
+	jit  *rand.Rand
+	cost ksim.Costs
+}
+
+// PredictFlow resolves a priority for one flow through lf_query_model; the
+// flow ID drives the flow cache so a flow's packets stay consistent with the
+// snapshot that first served it.
+func (p *corePredictor) PredictFlow(flow netsim.FlowID, features []float64, reply func(int)) netsim.Time {
+	prog := p.c.Active().Program()
+	if cap(p.in) < len(features) {
+		p.in = make([]int64, len(features))
+		p.out = make([]int64, prog.OutputSize())
+	}
+	prog.QuantizeInput(features, p.in[:len(features)])
+	if err := p.c.QueryModel(flow, p.in[:len(features)], p.out[:1]); err != nil {
+		reply(sched.PrioOf(1e6))
+		return 0
+	}
+	cost := ksim.InferCost(p.cost.KernelInferPerMAC, prog.MACs())
+	lat := cost + netsim.Time(p.jit.Int63n(int64(cost)+1))
+	prio := sched.PrioOf(sched.PredictedBytes(float64(p.out[0]) / float64(prog.OutputScale)))
+	p.eng.After(lat, func() { reply(prio) })
+	return lat
+}
+
+// fctBuckets accumulates FCT per flow class, with a separate post-drift view
+// (the adaptation comparison only differs after the workload shifts).
+type fctBuckets struct {
+	dists [3]*stats.Dist
+	post  [3]*stats.Dist
+	note  string
+}
+
+func newFCTBuckets() *fctBuckets {
+	b := &fctBuckets{}
+	for c := 0; c < 3; c++ {
+		b.dists[c] = stats.NewDist(256)
+		b.post[c] = stats.NewDist(256)
+	}
+	return b
+}
+
+func (f *fctBuckets) add(size int64, fct netsim.Time) {
+	f.dists[workload.ClassOf(size)].Add(float64(fct) / 1e3) // µs
+}
+
+func (f *fctBuckets) addPost(size int64, fct netsim.Time) {
+	f.post[workload.ClassOf(size)].Add(float64(fct) / 1e3)
+}
+
+// Fig16 reproduces Figure 16: average FCT by flow class on the 2×2
+// spine–leaf fabric (32 hosts, DCTCP, strict-priority queues) for the four
+// FFNN deployments. Ordering: LF-FFNN < char < netlink, and the frozen
+// LF-FFNN-N-O-A loses the most once the workload's feature mapping drifts.
+func Fig16(cfg Config) Result {
+	res := Result{ID: "fig16", Title: "Flow scheduling FCT by class (µs)",
+		XLabel: "class (0=short 1=mid 2=long)", YLabel: "avg FCT µs"}
+	numFlows := cfg.count(4000)
+	type schemeKind int
+	const (
+		lfFFNN schemeKind = iota
+		charFFNN
+		netlinkFFNN
+		lfNOA
+	)
+	type schemeDef struct {
+		name string
+		kind schemeKind
+	}
+	for _, sd := range []schemeDef{
+		{"LF-FFNN", lfFFNN},
+		{"char-FFNN", charFFNN},
+		{"netlink-FFNN", netlinkFFNN},
+		{"LF-FFNN-N-O-A", lfNOA},
+	} {
+		buckets := runFig16Scheme(cfg, sd.kind == charFFNN, sd.kind == netlinkFFNN,
+			sd.kind == lfFFNN, sd.kind == lfNOA, numFlows)
+		s := Series{Name: sd.name}
+		for c := 0; c < 3; c++ {
+			s.X = append(s.X, float64(c))
+			s.Y = append(s.Y, buckets.dists[c].Mean())
+		}
+		res.Series = append(res.Series, s)
+		note := fmt.Sprintf("%s: mean short %.0fµs mid %.0fµs long %.0fµs | median %.0f/%.0f/%.0fµs (n=%d/%d/%d)",
+			sd.name, buckets.dists[0].Mean(), buckets.dists[1].Mean(), buckets.dists[2].Mean(),
+			buckets.dists[0].Median(), buckets.dists[1].Median(), buckets.dists[2].Median(),
+			buckets.dists[0].N(), buckets.dists[1].N(), buckets.dists[2].N())
+		note += fmt.Sprintf(" | post-drift median %.0f/%.0f/%.0fµs",
+			buckets.post[0].Median(), buckets.post[1].Median(), buckets.post[2].Median())
+		if buckets.note != "" {
+			note += " [" + buckets.note + "]"
+		}
+		res.Notes = append(res.Notes, note)
+	}
+	return res
+}
+
+// runFig16Scheme runs one deployment over the identical drifting workload.
+func runFig16Scheme(cfg Config, isChar, isNetlink, isLF, isNOA bool, numFlows int) *fctBuckets {
+	eng := netsim.NewEngine()
+	opts := topo.DefaultSpineLeafOpts(16) // 32 hosts
+	opts.UsePrioQueues = true
+	sl := topo.NewSpineLeaf(eng, opts)
+	costs := ksim.DefaultCosts()
+	sl.AttachCPUs(32, costs) // server-class hosts for the 10G fabric
+
+	// Identical workload for every scheme.
+	r := rand.New(rand.NewSource(cfg.Seed + 20))
+	flows := workload.Generate(r, numFlows, len(sl.Hosts), 0.55, opts.HostLinkBps, workload.WebSearch())
+	fm := sched.NewFeatureModel(cfg.Seed + 21)
+	driftAt := flows[numFlows/2].At // feature mapping drifts mid-run
+	// Batch delivery must complete several adaptation rounds within the
+	// arrival span; scale T to the workload rather than wall-clock.
+	batchT := flows[len(flows)-1].At / 20
+	if batchT < 5*netsim.Millisecond {
+		batchT = 5 * netsim.Millisecond
+	}
+	if batchT > 100*netsim.Millisecond {
+		batchT = 100 * netsim.Millisecond
+	}
+
+	net := trainedFFNN(cfg)
+	user := &ffnnUser{net: net, opt: nn.NewAdam(1e-2), lastLoss: 1}
+
+	// predict resolves one flow's priority under the scheme's deployment.
+	var predict func(flow netsim.FlowID, feats []float64, reply func(int))
+	var lf *core.Core
+	var svc *core.Service
+	var ch *netlink.Channel
+	switch {
+	case isLF || isNOA:
+		coreCfg := core.DefaultConfig()
+		coreCfg.OutMin, coreCfg.OutMax = 0, 1
+		coreCfg.StabilityWindow = 2
+		coreCfg.StabilityTolerance = 1.0
+		lf = core.New(eng, nil, costs, coreCfg)
+		mod, err := codegen.Build(quant.Quantize(net.Clone(), coreCfg.Quant), "ffnn0")
+		if err != nil {
+			panic(err)
+		}
+		if _, err := lf.RegisterModel(mod); err != nil {
+			panic(err)
+		}
+		cp := &corePredictor{eng: eng, c: lf, cost: costs,
+			jit: rand.New(rand.NewSource(cfg.Seed + 22))}
+		predict = func(flow netsim.FlowID, feats []float64, reply func(int)) {
+			cp.PredictFlow(flow, feats, reply)
+		}
+		if isLF {
+			ch = netlink.New(eng, sl.Hosts[0].CPU, costs, nil)
+			svc = core.NewService(lf, ch, user, user, user)
+			svc.Start(batchT)
+		}
+	case isChar:
+		up := sched.NewUserPredictor(eng, nil, costs, net, sched.CharDev)
+		predict = func(_ netsim.FlowID, feats []float64, reply func(int)) { up.Predict(feats, reply) }
+	case isNetlink:
+		up := sched.NewUserPredictor(eng, nil, costs, net, sched.Netlink)
+		predict = func(_ netsim.FlowID, feats []float64, reply func(int)) { up.Predict(feats, reply) }
+	}
+
+	// Userspace deployments adapt their model directly (it already lives
+	// in userspace); collect and retrain every 100 ms.
+	var userspaceBatchX [][]float64
+	var userspaceBatchY []int64
+	if isChar || isNetlink {
+		var retrain func()
+		retrain = func() {
+			eng.After(batchT, func() {
+				if len(userspaceBatchX) > 0 {
+					sched.Train(net, userspaceBatchX, userspaceBatchY, 30, 1e-2)
+					userspaceBatchX = userspaceBatchX[:0]
+					userspaceBatchY = userspaceBatchY[:0]
+				}
+				retrain()
+			})
+		}
+		retrain()
+	}
+
+	buckets := newFCTBuckets()
+	for idx, fs := range flows {
+		fs := fs
+		flowID := netsim.FlowID(idx + 1)
+		eng.At(fs.At, func() {
+			if fs.At >= driftAt {
+				fm.Drift = 0.15
+			}
+			feats := fm.Features(fs.Size)
+			src := sl.Hosts[fs.Src]
+			dst := sl.Hosts[fs.Dst]
+			ctrl := cc.NewDCTCP()
+			snd := tcp.NewSender(src, flowID, dst.ID, fs.Size, ctrl)
+			snd.Prio = netsim.NumPrioBands - 1 // untagged until the prediction lands
+			rcv := tcp.NewReceiver(dst, flowID, src.ID)
+			if lf != nil {
+				rcv.OnFIN = func(f netsim.FlowID) { lf.FlowFinished(f) }
+			}
+			snd.OnComplete = func(fct netsim.Time) {
+				buckets.add(fs.Size, fct)
+				if fs.At >= driftAt {
+					buckets.addPost(fs.Size, fct)
+				}
+				// Completed flows yield labeled training data.
+				if isLF && ch != nil {
+					ch.Push(core.EncodeSample(core.Sample{
+						Input: feats, Aux: []float64{sched.Target(fs.Size)}, At: eng.Now(),
+					}))
+				}
+				if isChar || isNetlink {
+					userspaceBatchX = append(userspaceBatchX, feats)
+					userspaceBatchY = append(userspaceBatchY, fs.Size)
+				}
+			}
+			// FLUX tags at flow admission: the flow starts once the
+			// prediction lands, so deployment latency directly delays
+			// every flow's first packet.
+			predict(flowID, feats, func(prio int) {
+				snd.Prio = prio
+				snd.Start()
+			})
+		})
+	}
+
+	horizon := flows[len(flows)-1].At + 20*netsim.Second
+	eng.RunUntil(horizon)
+	if ch != nil {
+		ch.StopBatching()
+	}
+	if lf != nil {
+		lf.StopSweeper()
+	}
+	if svc != nil {
+		st := svc.Stats()
+		buckets.note = fmt.Sprintf("batches %d converged %d checks %d updates %d skipped %d lastFid %.3f",
+			st.Batches, st.Converged, st.FidelityChecks, st.Updates, st.SkippedByNecessity, st.LastFidelity)
+	}
+	return buckets
+}

@@ -1,0 +1,203 @@
+// Package ksim models the host CPU of a kernel datapath: a finite processing
+// resource shared by packet processing (softirq), kernel work, and userspace
+// work. It is the substitute for the real kernel's scheduling behaviour that
+// the LiteFlow paper measures with mpstat (Figures 3, 4, 13, 14): when
+// cross-space communication consumes CPU, fewer cycles remain for packet
+// processing and datapath throughput collapses.
+//
+// The model is a single logical work-conserving server whose capacity scales
+// with the configured core count. Work items are serialized FIFO; each item
+// charges its duration to an accounting category. When the backlog exceeds a
+// bound the submission is rejected — the analog of NIC ring overflow under
+// overload.
+package ksim
+
+import (
+	"fmt"
+
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+)
+
+// Category classifies CPU time the way mpstat buckets it.
+type Category int
+
+// Accounting categories.
+const (
+	User    Category = iota // userspace execution (NN tuning, CCP agent)
+	Kernel                  // syscalls and kernel datapath logic
+	SoftIRQ                 // packet receive processing and cross-space switching
+	numCategories
+)
+
+// String returns the mpstat-style column name.
+func (c Category) String() string {
+	switch c {
+	case User:
+		return "usr"
+	case Kernel:
+		return "sys"
+	case SoftIRQ:
+		return "soft"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// CPU is a finite compute resource attached to a simulation engine.
+type CPU struct {
+	eng   *netsim.Engine
+	cores int
+
+	busyUntil netsim.Time
+	acct      [numCategories]netsim.Time // raw CPU-time consumed per category
+
+	// MaxBacklog bounds how far work may queue ahead of the current time
+	// (in wall time). Submissions beyond it are rejected. This models the
+	// finite NIC ring / softirq budget: an overloaded kernel drops packets
+	// rather than queueing them forever.
+	MaxBacklog netsim.Time
+
+	rejected int64
+	started  netsim.Time
+}
+
+// DefaultMaxBacklog is the default bound on queued work, in wall time.
+const DefaultMaxBacklog = 5 * netsim.Millisecond
+
+// NewCPU returns a CPU with the given core count attached to eng. It panics
+// if cores is not positive.
+func NewCPU(eng *netsim.Engine, cores int) *CPU {
+	if cores <= 0 {
+		panic("ksim: cores must be positive")
+	}
+	return &CPU{eng: eng, cores: cores, MaxBacklog: DefaultMaxBacklog, started: eng.Now()}
+}
+
+// Cores returns the configured core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Rejected returns how many submissions were refused due to backlog.
+func (c *CPU) Rejected() int64 { return c.rejected }
+
+// wallTime converts raw CPU work into wall time on this CPU: n cores retire
+// work n times faster.
+func (c *CPU) wallTime(work netsim.Time) netsim.Time {
+	w := work / netsim.Time(c.cores)
+	if w == 0 && work > 0 {
+		w = 1
+	}
+	return w
+}
+
+// Submit schedules a work item consuming the given CPU time in category cat,
+// invoking done (which may be nil) when the work retires. It reports false —
+// and drops the work — when the backlog bound is exceeded.
+func (c *CPU) Submit(cat Category, work netsim.Time, done func()) bool {
+	now := c.eng.Now()
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	if c.busyUntil-now > c.MaxBacklog {
+		c.rejected++
+		return false
+	}
+	c.acct[cat] += work
+	c.busyUntil += c.wallTime(work)
+	if done != nil {
+		at := c.busyUntil
+		c.eng.At(at, done)
+	}
+	return true
+}
+
+// Charge accounts CPU time without scheduling a completion callback and
+// without backlog rejection. Use it for background work whose completion is
+// tracked elsewhere (e.g. a userspace trainer's compute burst).
+func (c *CPU) Charge(cat Category, work netsim.Time) {
+	now := c.eng.Now()
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	c.acct[cat] += work
+	c.busyUntil += c.wallTime(work)
+}
+
+// QueueDelay returns how long newly submitted work would wait before starting.
+func (c *CPU) QueueDelay() netsim.Time {
+	now := c.eng.Now()
+	if c.busyUntil <= now {
+		return 0
+	}
+	return c.busyUntil - now
+}
+
+// BusyTime returns the raw CPU time consumed in category cat since the last
+// ResetAccounting (or construction).
+func (c *CPU) BusyTime(cat Category) netsim.Time { return c.acct[cat] }
+
+// TotalBusy returns the raw CPU time consumed across all categories.
+func (c *CPU) TotalBusy() netsim.Time {
+	var t netsim.Time
+	for _, v := range c.acct {
+		t += v
+	}
+	return t
+}
+
+// Share returns category cat's fraction of total busy CPU time — the
+// quantity Figure 4 and Figure 14 report ("portion of time handling software
+// interrupts over total execution time"). It returns 0 when idle.
+func (c *CPU) Share(cat Category) float64 {
+	tot := c.TotalBusy()
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.acct[cat]) / float64(tot)
+}
+
+// Utilization returns total busy CPU time divided by available CPU time
+// (cores × elapsed wall time) since the last ResetAccounting.
+func (c *CPU) Utilization() float64 {
+	elapsed := c.eng.Now() - c.started
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.TotalBusy()) / float64(elapsed*netsim.Time(c.cores))
+}
+
+// ResetAccounting zeroes the per-category counters and restarts the
+// utilization window, like re-running mpstat for a fresh interval.
+func (c *CPU) ResetAccounting() {
+	c.acct = [numCategories]netsim.Time{}
+	c.rejected = 0
+	c.started = c.eng.Now()
+}
+
+// Report is an mpstat-style snapshot of CPU accounting.
+type Report struct {
+	UserTime    netsim.Time
+	KernelTime  netsim.Time
+	SoftIRQTime netsim.Time
+	SoftShare   float64 // SoftIRQTime / total busy
+	Utilization float64
+	Rejected    int64
+}
+
+// Report returns the current accounting snapshot.
+func (c *CPU) Report() Report {
+	return Report{
+		UserTime:    c.acct[User],
+		KernelTime:  c.acct[Kernel],
+		SoftIRQTime: c.acct[SoftIRQ],
+		SoftShare:   c.Share(SoftIRQ),
+		Utilization: c.Utilization(),
+		Rejected:    c.rejected,
+	}
+}
+
+// String renders the report as one mpstat-like line.
+func (r Report) String() string {
+	return fmt.Sprintf("usr=%.1fms sys=%.1fms soft=%.1fms soft%%=%.1f util=%.2f rej=%d",
+		float64(r.UserTime)/1e6, float64(r.KernelTime)/1e6, float64(r.SoftIRQTime)/1e6,
+		r.SoftShare*100, r.Utilization, r.Rejected)
+}

@@ -1,0 +1,183 @@
+package lb
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+func TestMLPLearnsPathSelection(t *testing.T) {
+	net := NewMLP(2, 1)
+	loss := Train(net, 2, 400, 1e-2, 1.0, 2)
+	if loss > 0.15 {
+		t.Fatalf("training loss = %v", loss)
+	}
+	acc := Accuracy(net, 2, 500, 1.0, 3)
+	if acc < 0.80 {
+		t.Errorf("path accuracy = %.2f, want ≥ 0.80", acc)
+	}
+}
+
+func TestRegimeShiftHurtsFrozenSelector(t *testing.T) {
+	// Train where congestion shows as ECN marks; evaluate where it shows
+	// as RTT inflation instead. A frozen model goes blind; retraining on
+	// the new regime recovers — the N-O-A dynamic of Figure 17.
+	net := NewMLP(2, 1)
+	Train(net, 2, 400, 1e-2, 1.0, 2)
+	clean := Accuracy(net, 2, 500, 1.0, 3)
+	shifted := Accuracy(net, 2, 500, 0.0, 3)
+	if shifted >= clean-0.1 {
+		t.Errorf("regime shift must hurt: clean %.2f, shifted %.2f", clean, shifted)
+	}
+	Train(net, 2, 400, 1e-2, 0.0, 5)
+	recovered := Accuracy(net, 2, 500, 0.0, 3)
+	if recovered <= shifted+0.1 {
+		t.Errorf("retraining must recover: shifted %.2f, recovered %.2f", shifted, recovered)
+	}
+}
+
+func TestBestPathTeacher(t *testing.T) {
+	// Path 0 congested, path 1 clean → pick 1.
+	f := []float64{0.8, 0.0, 2.0, 0.5, 0.3}
+	if got := BestPath(f, 2); got != 1 {
+		t.Errorf("BestPath = %d, want 1", got)
+	}
+	// Symmetric: ties resolve to 0.
+	f = []float64{0.1, 0.1, 1.0, 1.0, 0.5}
+	if got := BestPath(f, 2); got != 0 {
+		t.Errorf("tie BestPath = %d, want 0", got)
+	}
+}
+
+func TestPathMonitorEWMA(t *testing.T) {
+	m := NewPathMonitor(2)
+	if m.Paths() != 2 {
+		t.Fatal("paths wrong")
+	}
+	m.Observe(0, 1.0, 100*netsim.Microsecond)
+	if m.ECN(0) != 1.0 {
+		t.Errorf("first observation must seed the EWMA, got %v", m.ECN(0))
+	}
+	for i := 0; i < 50; i++ {
+		m.Observe(0, 0.0, 50*netsim.Microsecond)
+	}
+	if m.ECN(0) > 0.01 {
+		t.Errorf("EWMA must decay towards new samples, got %v", m.ECN(0))
+	}
+	// Out-of-range paths are ignored, not panics.
+	m.Observe(-1, 1, 1)
+	m.Observe(7, 1, 1)
+	f := m.Features(0.5)
+	if len(f) != InputDim(2) {
+		t.Fatalf("features dim = %d", len(f))
+	}
+	if f[4] != 0.5 {
+		t.Error("size feature misplaced")
+	}
+}
+
+func TestSelectorsAgreeKernelVsUser(t *testing.T) {
+	eng := netsim.NewEngine()
+	costs := ksim.DefaultCosts()
+	net := NewMLP(2, 1)
+	Train(net, 2, 400, 1e-2, 1.0, 2)
+	ks := NewKernelSelector(eng, nil, costs, quant.Quantize(net, quant.DefaultConfig()))
+	us := NewUserSelector(eng, nil, costs, net)
+	r := rand.New(rand.NewSource(7))
+	agree := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		f := RandomFeatures(r, 2, 1.0)
+		var pk, pu int
+		ks.Select(f, func(p int) { pk = p })
+		us.Select(f, func(p int) { pu = p })
+		eng.Run()
+		if pk == pu {
+			agree++
+		}
+	}
+	if float64(agree)/n < 0.93 {
+		t.Errorf("deployments agree on only %d/%d selections", agree, n)
+	}
+}
+
+func TestSelectorLatencyOrdering(t *testing.T) {
+	eng := netsim.NewEngine()
+	costs := ksim.DefaultCosts()
+	net := NewMLP(2, 1)
+	ks := NewKernelSelector(eng, nil, costs, quant.Quantize(net, quant.DefaultConfig()))
+	us := NewUserSelector(eng, nil, costs, net)
+	ec := &ECMPSelector{Paths: 2}
+	f := RandomFeatures(rand.New(rand.NewSource(1)), 2, 1.0)
+	var lk, lu, le netsim.Time
+	for i := 0; i < 50; i++ {
+		lk += ks.Select(f, func(int) {})
+		lu += us.Select(f, func(int) {})
+		le += ec.Select(f, func(int) {})
+	}
+	eng.Run()
+	if le != 0 {
+		t.Error("ECMP must be free")
+	}
+	if !(lk < lu) {
+		t.Errorf("kernel selection %v must beat userspace %v", lk, lu)
+	}
+}
+
+func TestUserSelectorMonitoringOverhead(t *testing.T) {
+	eng := netsim.NewEngine()
+	cpu := ksim.NewCPU(eng, 4)
+	us := NewUserSelector(eng, cpu, ksim.DefaultCosts(), NewMLP(2, 1))
+	us.MonitorInterval = netsim.Millisecond
+	us.StartMonitoring()
+	eng.RunUntil(netsim.Second)
+	us.StopMonitoring()
+	if us.SyncMessages < 900 {
+		t.Errorf("SyncMessages = %d, want ≈ 1000", us.SyncMessages)
+	}
+	if cpu.BusyTime(ksim.SoftIRQ) < 100*netsim.Millisecond {
+		t.Errorf("monitoring stream must burn softirq time, got %v", cpu.BusyTime(ksim.SoftIRQ))
+	}
+	// Restarting while running is a no-op.
+	us.running = true
+	us.StartMonitoring()
+}
+
+func TestECMPSelectorSpreads(t *testing.T) {
+	e := &ECMPSelector{Paths: 2}
+	counts := [2]int{}
+	for i := 0; i < 1000; i++ {
+		e.Select(nil, func(p int) { counts[p]++ })
+	}
+	if counts[0] < 300 || counts[1] < 300 {
+		t.Errorf("ECMP skewed: %v", counts)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Error("Argmax wrong")
+	}
+	if Argmax([]float64{5}) != 0 {
+		t.Error("single-element Argmax wrong")
+	}
+	if argmax64([]int64{2, 2, 1}) != 0 {
+		t.Error("tie must pick lowest index")
+	}
+}
+
+func BenchmarkKernelSelect(b *testing.B) {
+	eng := netsim.NewEngine()
+	ks := NewKernelSelector(eng, nil, ksim.DefaultCosts(), quant.Quantize(NewMLP(2, 1), quant.DefaultConfig()))
+	f := make([]float64, InputDim(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ks.Select(f, func(int) {})
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+}

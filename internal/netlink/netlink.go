@@ -1,0 +1,175 @@
+// Package netlink simulates the kernel↔userspace channel LiteFlow uses for
+// its slow path (paper §4.1–4.2): training data accumulates in a kernel-side
+// buffer and is flushed to the userspace service in batches every T, and the
+// userspace service pushes snapshot installs and fidelity-evaluation queries
+// back down.
+//
+// Costs are charged to the host's ksim CPU: each flush pays one cross-space
+// transition (softirq) plus per-message and per-byte copy costs (kernel
+// time). This makes the batching economics of Figure 14 measurable: small T
+// behaves like the CCP baseline's per-update switching; large T starves the
+// tuner of fresh data.
+package netlink
+
+import (
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+)
+
+// MsgKind distinguishes the two record types the paper sends over netlink.
+type MsgKind int
+
+// Message kinds (paper §4.2: "two types of messages are transferred").
+const (
+	// KindSample carries newly collected training data for online
+	// adaptation.
+	KindSample MsgKind = iota
+	// KindFidelity carries snapshot outputs for necessity evaluation.
+	KindFidelity
+)
+
+// Message is one record crossing the boundary.
+type Message struct {
+	Kind MsgKind
+	Data []float64   // feature/label payload (already dequantized)
+	At   netsim.Time // kernel-side collection time
+}
+
+// wireBytes estimates the message's on-wire size: nlmsghdr-ish overhead plus
+// 8 bytes per value.
+func (m Message) wireBytes() int { return 16 + 8*len(m.Data) }
+
+// Stats counts channel activity for experiment reporting.
+type Stats struct {
+	Flushes   int64
+	Messages  int64
+	Bytes     int64
+	Dropped   int64 // messages discarded by the bounded kernel buffer
+	Downcalls int64 // userspace→kernel deliveries
+	DownBytes int64
+}
+
+// Channel is a simulated netlink socket pair bound to one host CPU.
+type Channel struct {
+	eng   *netsim.Engine
+	cpu   *ksim.CPU
+	costs ksim.Costs
+
+	// MaxBuffer bounds the kernel-side accumulation buffer in messages;
+	// overflow drops the oldest data first (the kernel cannot block the
+	// datapath on a slow consumer). Zero means 4096.
+	MaxBuffer int
+
+	buf     []Message
+	deliver func(batch []Message)
+	stats   Stats
+
+	ticking  bool
+	interval netsim.Time
+}
+
+// New returns a channel delivering kernel batches to deliver. The callback
+// runs in virtual time after the cross-space latency has elapsed.
+func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, deliver func(batch []Message)) *Channel {
+	return &Channel{eng: eng, cpu: cpu, costs: costs, MaxBuffer: 4096, deliver: deliver}
+}
+
+// Stats returns a snapshot of the channel's counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// SetDeliver replaces the kernel-batch delivery callback. The userspace
+// service installs itself here after construction.
+func (c *Channel) SetDeliver(fn func(batch []Message)) { c.deliver = fn }
+
+// Buffered returns the number of kernel-side messages awaiting flush.
+func (c *Channel) Buffered() int { return len(c.buf) }
+
+// Push appends a message to the kernel-side batch buffer. Buffer appends are
+// in-kernel memory writes: free in this model (their cost is subsumed by the
+// per-packet processing charge already paid by the datapath).
+func (c *Channel) Push(m Message) {
+	max := c.MaxBuffer
+	if max <= 0 {
+		max = 4096
+	}
+	if len(c.buf) >= max {
+		// Drop oldest: adaptation prefers fresh signal.
+		copy(c.buf, c.buf[1:])
+		c.buf = c.buf[:len(c.buf)-1]
+		c.stats.Dropped++
+	}
+	c.buf = append(c.buf, m)
+}
+
+// Flush sends the accumulated batch to userspace now, charging the CPU for
+// one cross-space transition plus copy costs, and invoking the delivery
+// callback after the transition latency. An empty buffer flush is free.
+func (c *Channel) Flush() {
+	if len(c.buf) == 0 {
+		return
+	}
+	batch := c.buf
+	c.buf = nil
+
+	bytes := 0
+	for _, m := range batch {
+		bytes += m.wireBytes()
+	}
+	c.stats.Flushes++
+	c.stats.Messages += int64(len(batch))
+	c.stats.Bytes += int64(bytes)
+
+	// One softirq-visible wakeup per flush; copy work scales with volume.
+	c.cpu.Charge(ksim.SoftIRQ, c.costs.CrossSpace)
+	c.cpu.Charge(ksim.Kernel, c.costs.NetlinkPerMsg+netsim.Time(bytes)*c.costs.NetlinkPerByte)
+
+	delay := c.costs.CrossSpaceLatency + c.cpu.QueueDelay()
+	c.eng.After(delay, func() { c.deliver(batch) })
+}
+
+// StartBatching schedules periodic flushes every interval — the paper's
+// batch data delivery interval T. Calling it again re-arms with the new
+// interval; StopBatching cancels.
+func (c *Channel) StartBatching(interval netsim.Time) {
+	if interval <= 0 {
+		panic("netlink: batch interval must be positive")
+	}
+	c.interval = interval
+	if c.ticking {
+		return
+	}
+	c.ticking = true
+	c.tick()
+}
+
+// StopBatching stops the periodic flushing after the current tick.
+func (c *Channel) StopBatching() { c.ticking = false }
+
+func (c *Channel) tick() {
+	if !c.ticking {
+		return
+	}
+	c.eng.After(c.interval, func() {
+		if !c.ticking {
+			return
+		}
+		c.Flush()
+		c.tick()
+	})
+}
+
+// SendToKernel models a userspace→kernel transfer of payloadBytes (snapshot
+// parameters, evaluation queries), invoking done in the kernel after costs
+// and latency. The transition is softirq work; the copy is kernel work.
+func (c *Channel) SendToKernel(payloadBytes int, done func()) {
+	c.stats.Downcalls++
+	c.stats.DownBytes += int64(payloadBytes)
+	c.cpu.Charge(ksim.SoftIRQ, c.costs.CrossSpace)
+	c.cpu.Charge(ksim.Kernel, c.costs.NetlinkPerMsg+netsim.Time(payloadBytes)*c.costs.NetlinkPerByte)
+	delay := c.costs.CrossSpaceLatency + c.cpu.QueueDelay()
+	c.eng.After(delay, func() {
+		if done != nil {
+			done()
+		}
+	})
+}

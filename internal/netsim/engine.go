@@ -1,0 +1,112 @@
+// Package netsim is a deterministic discrete-event network simulator: an
+// event engine with virtual nanosecond time, plus packets, queues, links and
+// nodes. It is the substitute substrate for the Linux kernel datapath used by
+// the LiteFlow paper (see DESIGN.md §1): it reproduces the feedback loops —
+// ACK clocking, queue build-up, ECN marking, loss — that make the placement
+// of an adaptive NN's control path matter.
+//
+// The engine is single-threaded by design: all state mutation happens inside
+// event callbacks, so entities need no locks and runs are reproducible.
+package netsim
+
+import "container/heap"
+
+// Time is virtual simulation time in nanoseconds.
+type Time = int64
+
+// Common durations in nanoseconds.
+const (
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewEngine returns an engine with time 0 and an empty event queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: silently reordering events would corrupt
+// causality in every experiment built on top.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("netsim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d is clamped to
+// zero (runs "immediately", after already-queued same-time events).
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Step executes the earliest event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// later than deadline. Time is advanced to the deadline if the simulation
+// outlived it, so subsequent scheduling is relative to the deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

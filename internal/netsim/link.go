@@ -1,0 +1,123 @@
+package netsim
+
+// Handler consumes packets at the far end of a link. Hosts and switches
+// implement it.
+type Handler interface {
+	HandlePacket(p *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(p *Packet)
+
+// HandlePacket calls f(p).
+func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
+
+// Link is a unidirectional link: serialization at Rate, then propagation
+// Delay, feeding the remote Handler. Packets that arrive while the link is
+// transmitting wait in the attached Queue.
+type Link struct {
+	eng   *Engine
+	to    Handler
+	rate  int64 // bits per second
+	delay Time
+	queue Queue
+
+	busy bool
+
+	// Cumulative counters for experiment accounting.
+	txPackets int64
+	txBytes   int64
+}
+
+// NewLink creates a link with transmission rate rateBps (bits/second),
+// one-way propagation delay, and buffering discipline q. It panics on a
+// non-positive rate: a zero-rate link would never drain and silently hang
+// the simulation.
+func NewLink(eng *Engine, to Handler, rateBps int64, delay Time, q Queue) *Link {
+	if rateBps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	if q == nil {
+		q = NewDropTail(1 << 30)
+	}
+	return &Link{eng: eng, to: to, rate: rateBps, delay: delay, queue: q}
+}
+
+// Rate returns the link rate in bits per second.
+func (l *Link) Rate() int64 { return l.rate }
+
+// SetRate changes the link rate (bits per second), effective for packets
+// serialized after the call — the mechanism for degraded-link experiments.
+// It panics on non-positive rates like NewLink.
+func (l *Link) SetRate(bps int64) {
+	if bps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	l.rate = bps
+}
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() Time { return l.delay }
+
+// Queue returns the attached queueing discipline, for inspection (queue
+// length sampling in the Figure 1b experiment) or reconfiguration.
+func (l *Link) Queue() Queue { return l.queue }
+
+// SetTarget redirects delivered packets to h. Used by topology builders that
+// wire links before all nodes exist.
+func (l *Link) SetTarget(h Handler) { l.to = h }
+
+// TxBytes returns the cumulative bytes fully serialized onto the wire.
+func (l *Link) TxBytes() int64 { return l.txBytes }
+
+// TxPackets returns the cumulative packet count serialized onto the wire.
+func (l *Link) TxPackets() int64 { return l.txPackets }
+
+// TxTime returns the serialization time for a packet of size bytes.
+func (l *Link) TxTime(size int) Time {
+	return Time(int64(size) * 8 * int64(Second) / l.rate)
+}
+
+// Send enqueues p for transmission, dropping it if the queue is full.
+func (l *Link) Send(p *Packet) {
+	p.EnqAt = l.eng.Now()
+	if !l.queue.Enqueue(p) {
+		return // dropped
+	}
+	if !l.busy {
+		l.startNext()
+	}
+}
+
+func (l *Link) startNext() {
+	p := l.queue.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	tx := l.TxTime(p.Size)
+	l.eng.After(tx, func() {
+		l.txPackets++
+		l.txBytes += int64(p.Size)
+		// Propagation happens in parallel with the next serialization.
+		l.eng.After(l.delay, func() { l.to.HandlePacket(p) })
+		l.startNext()
+	})
+}
+
+// Pipe is a bidirectional connection built from two independent links. It is
+// a convenience for dumbbell topologies and host attachments.
+type Pipe struct {
+	AtoB *Link
+	BtoA *Link
+}
+
+// NewPipe wires a ↔ b with symmetric rate, delay and fresh drop-tail queues
+// of capBytes each.
+func NewPipe(eng *Engine, a, b Handler, rateBps int64, delay Time, capBytes int) *Pipe {
+	return &Pipe{
+		AtoB: NewLink(eng, b, rateBps, delay, NewDropTail(capBytes)),
+		BtoA: NewLink(eng, a, rateBps, delay, NewDropTail(capBytes)),
+	}
+}

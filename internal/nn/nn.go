@@ -1,0 +1,314 @@
+// Package nn implements the small float64 multilayer perceptrons used by the
+// LiteFlow experiments: Aurora (32/16), MOCC (64/32), FLUX's FFNN (5/5) and
+// the load-balancing MLP (12/12). It provides forward/backward passes, SGD
+// and Adam optimizers, and deterministic initialization — the userspace
+// "slow path" half of the system. The kernel "fast path" half is its
+// integer-quantized counterpart in package quant.
+//
+// The implementation is deliberately simple and allocation-free on the
+// forward path: inference writes into caller-provided buffers, following the
+// preallocated-decoder idiom from gopacket's DecodingLayerParser.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+// String returns the activation name used by codegen templates.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Apply computes the activation of x.
+func (a Activation) Apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// Deriv computes the activation derivative given the activation output y.
+func (a Activation) Deriv(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// Dense is one fully connected layer: out = act(W·in + b).
+type Dense struct {
+	In, Out int
+	W       [][]float64 // [Out][In]
+	B       []float64   // [Out]
+	Act     Activation
+
+	// Gradient accumulators, filled by Network.Backward.
+	GW [][]float64
+	GB []float64
+
+	// Cached forward values for backprop.
+	input []float64 // last input
+	out   []float64 // last activated output
+}
+
+func newDense(in, out int, act Activation, r *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Act: act}
+	d.W = make([][]float64, out)
+	d.GW = make([][]float64, out)
+	// Xavier/Glorot uniform initialization keeps small tanh nets trainable.
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = make([]float64, in)
+		d.GW[i] = make([]float64, in)
+		for j := range d.W[i] {
+			d.W[i][j] = (r.Float64()*2 - 1) * limit
+		}
+	}
+	d.B = make([]float64, out)
+	d.GB = make([]float64, out)
+	d.input = make([]float64, in)
+	d.out = make([]float64, out)
+	return d
+}
+
+// Network is a feed-forward stack of Dense layers.
+type Network struct {
+	Layers []*Dense
+	// scratch holds per-layer input-gradient buffers for backprop.
+	scratch [][]float64
+}
+
+// New builds a network with the given layer sizes (inputs first) and one
+// activation per weight layer (len(acts) == len(sizes)-1). Weights are
+// initialized deterministically from seed.
+func New(sizes []int, acts []Activation, seed int64) *Network {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	if len(acts) != len(sizes)-1 {
+		panic("nn: need one activation per layer")
+	}
+	r := rand.New(rand.NewSource(seed))
+	n := &Network{}
+	for i := 0; i < len(sizes)-1; i++ {
+		n.Layers = append(n.Layers, newDense(sizes[i], sizes[i+1], acts[i], r))
+		n.scratch = append(n.scratch, make([]float64, sizes[i]))
+	}
+	return n
+}
+
+// InputSize returns the network's input dimension.
+func (n *Network) InputSize() int { return n.Layers[0].In }
+
+// OutputSize returns the network's output dimension.
+func (n *Network) OutputSize() int { return n.Layers[len(n.Layers)-1].Out }
+
+// MACs returns the multiply-accumulate count of one inference, used by the
+// CPU cost model.
+func (n *Network) MACs() int {
+	m := 0
+	for _, l := range n.Layers {
+		m += l.In * l.Out
+	}
+	return m
+}
+
+// NumParams returns the total parameter count (weights + biases).
+func (n *Network) NumParams() int {
+	p := 0
+	for _, l := range n.Layers {
+		p += l.In*l.Out + l.Out
+	}
+	return p
+}
+
+// Forward runs inference on in, writing the result into out (which must have
+// length OutputSize). It caches intermediate activations for Backward and
+// performs no allocation.
+func (n *Network) Forward(in, out []float64) {
+	if len(in) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(in), n.InputSize()))
+	}
+	if len(out) != n.OutputSize() {
+		panic(fmt.Sprintf("nn: output size %d, want %d", len(out), n.OutputSize()))
+	}
+	cur := in
+	for li, l := range n.Layers {
+		copy(l.input, cur)
+		dst := l.out
+		if li == len(n.Layers)-1 {
+			dst = out
+		}
+		for i := 0; i < l.Out; i++ {
+			sum := l.B[i]
+			w := l.W[i]
+			for j := 0; j < l.In; j++ {
+				sum += w[j] * cur[j]
+			}
+			dst[i] = l.Act.Apply(sum)
+		}
+		if li == len(n.Layers)-1 {
+			copy(l.out, dst)
+		}
+		cur = l.out
+	}
+}
+
+// Infer is Forward without retaining anything for training; it allocates the
+// output slice for convenience.
+func (n *Network) Infer(in []float64) []float64 {
+	out := make([]float64, n.OutputSize())
+	n.Forward(in, out)
+	return out
+}
+
+// Backward backpropagates dLoss/dOutput (for the most recent Forward call)
+// and accumulates parameter gradients into GW/GB. Call ZeroGrad between
+// mini-batches.
+func (n *Network) Backward(gradOut []float64) {
+	if len(gradOut) != n.OutputSize() {
+		panic("nn: gradOut size mismatch")
+	}
+	grad := gradOut
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		prev := n.scratch[li]
+		for j := range prev {
+			prev[j] = 0
+		}
+		for i := 0; i < l.Out; i++ {
+			d := grad[i] * l.Act.Deriv(l.out[i])
+			l.GB[i] += d
+			w := l.W[i]
+			gw := l.GW[i]
+			for j := 0; j < l.In; j++ {
+				gw[j] += d * l.input[j]
+				prev[j] += d * w[j]
+			}
+		}
+		grad = prev
+	}
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.Layers {
+		for i := range l.GW {
+			for j := range l.GW[i] {
+				l.GW[i][j] = 0
+			}
+			l.GB[i] = 0
+		}
+	}
+}
+
+// ClipGrad scales gradients down so their global L2 norm is at most maxNorm;
+// a no-op when already within bounds or maxNorm ≤ 0.
+func (n *Network) ClipGrad(maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	var sum float64
+	for _, l := range n.Layers {
+		for i := range l.GW {
+			for _, g := range l.GW[i] {
+				sum += g * g
+			}
+			sum += l.GB[i] * l.GB[i]
+		}
+	}
+	norm := math.Sqrt(sum)
+	if norm <= maxNorm {
+		return
+	}
+	scale := maxNorm / norm
+	for _, l := range n.Layers {
+		for i := range l.GW {
+			for j := range l.GW[i] {
+				l.GW[i][j] *= scale
+			}
+			l.GB[i] *= scale
+		}
+	}
+}
+
+// Clone returns a deep copy sharing no state with n.
+func (n *Network) Clone() *Network {
+	c := &Network{}
+	for _, l := range n.Layers {
+		nl := &Dense{In: l.In, Out: l.Out, Act: l.Act}
+		nl.W = make([][]float64, l.Out)
+		nl.GW = make([][]float64, l.Out)
+		for i := range l.W {
+			nl.W[i] = append([]float64(nil), l.W[i]...)
+			nl.GW[i] = make([]float64, l.In)
+		}
+		nl.B = append([]float64(nil), l.B...)
+		nl.GB = make([]float64, l.Out)
+		nl.input = make([]float64, l.In)
+		nl.out = make([]float64, l.Out)
+		c.Layers = append(c.Layers, nl)
+		c.scratch = append(c.scratch, make([]float64, l.In))
+	}
+	return c
+}
+
+// CopyParamsFrom copies weights and biases from src (architectures must
+// match) without touching gradients or optimizer state.
+func (n *Network) CopyParamsFrom(src *Network) {
+	if len(n.Layers) != len(src.Layers) {
+		panic("nn: architecture mismatch")
+	}
+	for li, l := range n.Layers {
+		s := src.Layers[li]
+		if l.In != s.In || l.Out != s.Out {
+			panic("nn: layer shape mismatch")
+		}
+		for i := range l.W {
+			copy(l.W[i], s.W[i])
+		}
+		copy(l.B, s.B)
+	}
+}

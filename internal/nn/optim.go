@@ -1,0 +1,144 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to a network's parameters.
+type Optimizer interface {
+	Step(n *Network)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vW map[*Dense][][]float64
+	vB map[*Dense][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum,
+		vW: make(map[*Dense][][]float64), vB: make(map[*Dense][]float64)}
+}
+
+// Step applies one update using the gradients accumulated in n.
+func (o *SGD) Step(n *Network) {
+	for _, l := range n.Layers {
+		vw, ok := o.vW[l]
+		if !ok {
+			vw = make([][]float64, l.Out)
+			for i := range vw {
+				vw[i] = make([]float64, l.In)
+			}
+			o.vW[l] = vw
+			o.vB[l] = make([]float64, l.Out)
+		}
+		vb := o.vB[l]
+		for i := range l.W {
+			for j := range l.W[i] {
+				vw[i][j] = o.Momentum*vw[i][j] - o.LR*l.GW[i][j]
+				l.W[i][j] += vw[i][j]
+			}
+			vb[i] = o.Momentum*vb[i] - o.LR*l.GB[i]
+			l.B[i] += vb[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the tuner the paper cites for
+// userspace model optimization.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t  int
+	mW map[*Dense][][]float64
+	vW map[*Dense][][]float64
+	mB map[*Dense][]float64
+	vB map[*Dense][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard betas (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		mW: make(map[*Dense][][]float64), vW: make(map[*Dense][][]float64),
+		mB: make(map[*Dense][]float64), vB: make(map[*Dense][]float64)}
+}
+
+// Step applies one Adam update using the gradients accumulated in n.
+func (o *Adam) Step(n *Network) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, l := range n.Layers {
+		mw, ok := o.mW[l]
+		if !ok {
+			mw = make([][]float64, l.Out)
+			vw := make([][]float64, l.Out)
+			for i := range mw {
+				mw[i] = make([]float64, l.In)
+				vw[i] = make([]float64, l.In)
+			}
+			o.mW[l], o.vW[l] = mw, vw
+			o.mB[l] = make([]float64, l.Out)
+			o.vB[l] = make([]float64, l.Out)
+		}
+		vw, mb, vb := o.vW[l], o.mB[l], o.vB[l]
+		for i := range l.W {
+			for j := range l.W[i] {
+				g := l.GW[i][j]
+				mw[i][j] = o.Beta1*mw[i][j] + (1-o.Beta1)*g
+				vw[i][j] = o.Beta2*vw[i][j] + (1-o.Beta2)*g*g
+				l.W[i][j] -= o.LR * (mw[i][j] / bc1) / (math.Sqrt(vw[i][j]/bc2) + o.Epsilon)
+			}
+			g := l.GB[i]
+			mb[i] = o.Beta1*mb[i] + (1-o.Beta1)*g
+			vb[i] = o.Beta2*vb[i] + (1-o.Beta2)*g*g
+			l.B[i] -= o.LR * (mb[i] / bc1) / (math.Sqrt(vb[i]/bc2) + o.Epsilon)
+		}
+	}
+}
+
+// MSE returns the mean squared error between pred and target and writes
+// dLoss/dPred into grad (all slices must share a length).
+func MSE(pred, target, grad []float64) float64 {
+	loss := 0.0
+	n := float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d
+		grad[i] = 2 * d / n
+	}
+	return loss / n
+}
+
+// TrainBatch runs one optimizer step over the (x, y) pairs with MSE loss and
+// returns the mean loss across the batch. Gradients are averaged over the
+// batch and clipped to clipNorm (0 disables clipping).
+func TrainBatch(n *Network, opt Optimizer, x, y [][]float64, clipNorm float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if len(x) != len(y) {
+		panic("nn: x/y length mismatch")
+	}
+	n.ZeroGrad()
+	out := make([]float64, n.OutputSize())
+	grad := make([]float64, n.OutputSize())
+	total := 0.0
+	for k := range x {
+		n.Forward(x[k], out)
+		total += MSE(out, y[k], grad)
+		inv := 1 / float64(len(x))
+		for i := range grad {
+			grad[i] *= inv
+		}
+		n.Backward(grad)
+	}
+	n.ClipGrad(clipNorm)
+	opt.Step(n)
+	return total / float64(len(x))
+}

@@ -1,0 +1,231 @@
+// Package sched implements NN-driven flow scheduling (paper §5.2): FLUX's
+// FFNN flow-size predictor, the priority tagger that maps predicted sizes to
+// strict-priority bands (pFabric-style), and the three prediction
+// deployments the paper compares — the LiteFlow kernel snapshot, a
+// char-device userspace service, and a per-message netlink userspace
+// service — each with its own latency and CPU cost profile (Figure 15).
+package sched
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+// NumFeatures is the FFNN input width: the flow metadata FLUX collects at
+// flow start (normalized log burst size, inter-arrival gap, source load,
+// destination load).
+const NumFeatures = 4
+
+// LogScale normalizes log10(bytes) into roughly [0, 1] for the regressor
+// (10^7.5 ≈ 30 MB is the workload's tail).
+const LogScale = 7.5
+
+// NewFFNN returns FLUX's predictor architecture: 2 hidden layers × 5
+// neurons, ReLU, linear output regressing normalized log flow size.
+func NewFFNN(seed int64) *nn.Network {
+	net := nn.New([]int{NumFeatures, 5, 5, 1},
+		[]nn.Activation{nn.ReLU, nn.ReLU, nn.Linear}, seed)
+	// Small positive biases keep the narrow ReLU layers alive at init;
+	// with only 5 units per layer, zero biases strand most of them dead
+	// on the all-positive feature ranges.
+	for _, l := range net.Layers[:2] {
+		for i := range l.B {
+			l.B[i] = 0.1
+		}
+	}
+	return net
+}
+
+// FeatureModel synthesizes predictable-but-noisy flow features: the
+// information FLUX extracts from application context. Drift shifts the
+// feature→size mapping, modelling workload changes that invalidate a frozen
+// model (the N-O-A comparisons of Figure 16).
+type FeatureModel struct {
+	// Noise is the feature noise stddev (prediction ceiling).
+	Noise float64
+	// Drift offsets the informative feature; a tuned model learns it away,
+	// a frozen snapshot cannot.
+	Drift float64
+
+	rng *rand.Rand
+}
+
+// NewFeatureModel returns a feature synthesizer with the given seed.
+func NewFeatureModel(seed int64) *FeatureModel {
+	return &FeatureModel{Noise: 0.03, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Features produces the metadata vector observed for a flow of the given
+// size (bytes). The first dimension carries the learnable signal; the rest
+// model context of limited value.
+func (f *FeatureModel) Features(size int64) []float64 {
+	sig := math.Log10(float64(size))/LogScale + f.Drift + f.rng.NormFloat64()*f.Noise
+	return []float64{
+		sig,
+		f.rng.Float64() * 0.5,         // inter-arrival gap (weakly informative)
+		0.3 + f.rng.NormFloat64()*0.1, // source load
+		0.3 + f.rng.NormFloat64()*0.1, // destination load
+	}
+}
+
+// Target returns the regression target for a flow size.
+func Target(size int64) float64 { return math.Log10(float64(size)) / LogScale }
+
+// PredictedBytes inverts a model output back to bytes.
+func PredictedBytes(out float64) float64 { return math.Pow(10, out*LogScale) }
+
+// Train fits the FFNN on (features, size) pairs for the given epochs and
+// returns the final loss. The adapter used by the online experiments calls
+// this with freshly collected batches.
+func Train(net *nn.Network, feats [][]float64, sizes []int64, epochs int, lr float64) float64 {
+	if len(feats) == 0 {
+		return 0
+	}
+	y := make([][]float64, len(sizes))
+	for i, s := range sizes {
+		y[i] = []float64{Target(s)}
+	}
+	opt := nn.NewAdam(lr)
+	var loss float64
+	for e := 0; e < epochs; e++ {
+		loss = nn.TrainBatch(net, opt, feats, y, 5)
+	}
+	return loss
+}
+
+// PrioThresholds are the flow-size boundaries (bytes) between the 8 strict
+// priority bands, following the pFabric/PIAS convention: small flows get
+// high priority (band 0).
+var PrioThresholds = []float64{10e3, 30e3, 100e3, 300e3, 1e6, 3e6, 10e6}
+
+// PrioOf maps a predicted flow size to a priority band.
+func PrioOf(predictedBytes float64) int {
+	for i, th := range PrioThresholds {
+		if predictedBytes < th {
+			return i
+		}
+	}
+	return len(PrioThresholds)
+}
+
+// Predictor resolves a flow's priority asynchronously; the three deployment
+// variants differ in where the NN runs and what the exchange costs.
+type Predictor interface {
+	// Predict computes a priority for the feature vector and delivers it
+	// via reply, after the deployment's latency. It returns the latency
+	// charged for this prediction (for Figure 15's CDF).
+	Predict(features []float64, reply func(prio int)) netsim.Time
+}
+
+// KernelPredictor runs the quantized FFNN snapshot in the kernel — the
+// LF-FFNN deployment: inference cost only, no boundary crossing.
+type KernelPredictor struct {
+	Eng   *netsim.Engine
+	CPU   *ksim.CPU // optional
+	Costs ksim.Costs
+	Prog  *quant.Program
+
+	in  []int64
+	out []int64
+	jit *rand.Rand
+}
+
+// NewKernelPredictor wraps a quantized snapshot.
+func NewKernelPredictor(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, prog *quant.Program) *KernelPredictor {
+	return &KernelPredictor{Eng: eng, CPU: cpu, Costs: costs, Prog: prog,
+		in: make([]int64, prog.InputSize()), out: make([]int64, prog.OutputSize()),
+		jit: rand.New(rand.NewSource(1))}
+}
+
+// Predict implements Predictor.
+func (k *KernelPredictor) Predict(features []float64, reply func(int)) netsim.Time {
+	cost := ksim.InferCost(k.Costs.KernelInferPerMAC, k.Prog.MACs())
+	lat := cost + netsim.Time(k.jit.Int63n(int64(cost)+1)) // cache/pipeline jitter
+	if k.CPU != nil {
+		k.CPU.Charge(ksim.Kernel, cost)
+		lat += k.CPU.QueueDelay()
+	}
+	k.Prog.QuantizeInput(features, k.in)
+	k.Prog.Infer(k.in, k.out)
+	bytes := PredictedBytes(float64(k.out[0]) / float64(k.Prog.OutputScale))
+	prio := PrioOf(bytes)
+	k.Eng.After(lat, func() { reply(prio) })
+	return lat
+}
+
+// Transport selects the userspace exchange mechanism.
+type Transport int
+
+// Userspace transports the paper compares against.
+const (
+	CharDev Transport = iota
+	Netlink
+)
+
+// UserPredictor runs the float FFNN in userspace behind a per-prediction
+// kernel↔user exchange — char-FFNN and netlink-FFNN.
+type UserPredictor struct {
+	Eng       *netsim.Engine
+	CPU       *ksim.CPU // optional
+	Costs     ksim.Costs
+	Net       *nn.Network
+	Transport Transport
+
+	out []float64
+	jit *rand.Rand
+}
+
+// NewUserPredictor wraps a float network behind the given transport.
+func NewUserPredictor(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, net *nn.Network, tr Transport) *UserPredictor {
+	return &UserPredictor{Eng: eng, CPU: cpu, Costs: costs, Net: net, Transport: tr,
+		out: make([]float64, 1), jit: rand.New(rand.NewSource(2))}
+}
+
+// Predict implements Predictor.
+func (u *UserPredictor) Predict(features []float64, reply func(int)) netsim.Time {
+	var oneWay netsim.Time
+	var perMsg netsim.Time
+	switch u.Transport {
+	case CharDev:
+		oneWay, perMsg = u.Costs.CharDevLatency, u.Costs.CharDevPerMsg
+	default:
+		oneWay, perMsg = u.Costs.NetlinkLatency, u.Costs.NetlinkPerMsg
+	}
+	infer := ksim.InferCost(u.Costs.UserInferPerMAC, u.Net.MACs())
+	lat := 2*oneWay + infer
+	lat += netsim.Time(u.jit.Int63n(int64(oneWay) + 1)) // scheduling jitter
+	if u.CPU != nil {
+		u.CPU.Charge(ksim.SoftIRQ, 2*u.Costs.CrossSpace)
+		u.CPU.Charge(ksim.Kernel, 2*perMsg)
+		u.CPU.Charge(ksim.User, infer)
+		lat += u.CPU.QueueDelay()
+	}
+	u.Net.Forward(features, u.out)
+	prio := PrioOf(PredictedBytes(u.out[0]))
+	u.Eng.After(lat, func() { reply(prio) })
+	return lat
+}
+
+var (
+	_ Predictor = (*KernelPredictor)(nil)
+	_ Predictor = (*UserPredictor)(nil)
+)
+
+// OraclePredictor tags flows with their true size instantly — the "advance
+// knowledge" upper bound FLUX argues for.
+type OraclePredictor struct {
+	// SizeOf maps a feature vector back to the true size; experiments
+	// capture the true size in a closure.
+	SizeOf func(features []float64) int64
+}
+
+// Predict implements Predictor with zero latency.
+func (o *OraclePredictor) Predict(features []float64, reply func(int)) netsim.Time {
+	reply(PrioOf(float64(o.SizeOf(features))))
+	return 0
+}

@@ -1,0 +1,65 @@
+package tcp
+
+import (
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+)
+
+// Receiver terminates a flow: it deduplicates segments, acknowledges each
+// one selectively (echoing ECN marks DCTCP-style), and accounts goodput.
+type Receiver struct {
+	Host *Host
+	Flow netsim.FlowID
+	Src  int // node to send ACKs to
+
+	// OnDeliver, when set, fires for every new (non-duplicate) payload
+	// byte range, with the bytes delivered and the current time. Used for
+	// goodput time series.
+	OnDeliver func(bytes int, now netsim.Time)
+	// OnFIN fires when the FIN-bearing segment arrives; LiteFlow's flow
+	// cache uses it to drop per-flow state (paper §3.4).
+	OnFIN func(flow netsim.FlowID)
+
+	seen        map[int64]bool
+	uniqueBytes int64
+	finSeen     bool
+
+	// DupAcks counts ACKs re-sent for duplicate segments.
+	DupAcks int64
+}
+
+// NewReceiver creates a receiver for flow on host h, ACKing towards src, and
+// registers it with the host's demux table.
+func NewReceiver(h *Host, flow netsim.FlowID, src int) *Receiver {
+	r := &Receiver{Host: h, Flow: flow, Src: src, seen: make(map[int64]bool)}
+	h.RegisterReceiver(r)
+	return r
+}
+
+// UniqueBytes returns the distinct payload bytes received so far.
+func (r *Receiver) UniqueBytes() int64 { return r.uniqueBytes }
+
+// handleData processes one data segment: dedup, account, ACK.
+func (r *Receiver) handleData(p *netsim.Packet) {
+	payload := p.PayloadBytes()
+	if !r.seen[p.Seq] {
+		r.seen[p.Seq] = true
+		r.uniqueBytes += int64(payload)
+		if r.OnDeliver != nil {
+			r.OnDeliver(payload, r.Host.Eng.Now())
+		}
+		if p.FIN && !r.finSeen {
+			r.finSeen = true
+			if r.OnFIN != nil {
+				r.OnFIN(r.Flow)
+			}
+		}
+	} else {
+		r.DupAcks++
+	}
+	// Selective ACK for this segment; echo congestion marks.
+	r.Host.Transmit(&netsim.Packet{
+		Flow: r.Flow, Src: r.Host.ID, Dst: r.Src,
+		Ack: true, AckNo: p.Seq, ECE: p.CE,
+		Size: netsim.AckSize, SentAt: r.Host.Eng.Now(),
+	})
+}

@@ -1,0 +1,341 @@
+package tcp
+
+import (
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+)
+
+// segment is one outstanding MSS-sized unit of the flow's byte stream.
+type segment struct {
+	seq    int64
+	size   int // payload bytes
+	sentAt netsim.Time
+	rtx    int // retransmission count
+	acked  bool
+	lost   bool // marked lost, awaiting retransmission
+	fin    bool
+}
+
+// Sender transmits a flow with pacing, a congestion window, selective-repeat
+// retransmission (per-segment ACKs, dup-threshold and RTO loss detection),
+// and SRTT/delivery-rate estimation. It is driven entirely by simulator
+// events.
+type Sender struct {
+	Host *Host
+	Flow netsim.FlowID
+	Dst  int
+	// Size is the flow length in bytes; 0 means unbounded (long-running).
+	Size int64
+	CC   CongestionControl
+
+	// OnComplete, when set, fires once when every byte has been
+	// acknowledged, with the flow completion time.
+	OnComplete func(fct netsim.Time)
+
+	// DupThresh is the reordering tolerance in segments before a hole is
+	// declared lost (fast retransmit). Defaults to 3.
+	DupThresh int
+	// MinRTO bounds the retransmission timeout from below. Defaults to the
+	// Linux kernel's 200 ms; anything close to the path RTT causes
+	// spurious timeouts that collapse window-based controllers.
+	MinRTO netsim.Time
+
+	// Prio tags every data packet with a priority band (flow scheduling:
+	// the output enforcer writes the NN's predicted priority here).
+	Prio int
+	// Path pins every data packet to an explicit switch path (load
+	// balancing: XPath-style path control). nil uses table routing.
+	Path []int
+
+	started   bool
+	startAt   netsim.Time
+	completed bool
+
+	nextSeq     int64
+	outstanding []*segment // ordered by seq; acked entries pruned lazily
+	bySeq       map[int64]*segment
+	rtxQueue    []*segment
+	inflight    int
+	ackedBytes  int64
+	highestAck  int64 // highest segment seq acknowledged
+
+	srtt   netsim.Time
+	rttvar netsim.Time
+	pacing bool
+	rtoSeq int // invalidates stale RTO timers
+	rtoArm bool
+
+	// Delivery-rate estimation window.
+	rateWinStart netsim.Time
+	rateWinBytes int64
+	deliveryRate int64
+
+	// Counters for experiment reporting.
+	Retransmits int64
+	Timeouts    int64
+}
+
+// NewSender creates a sender for flow → dst on host h governed by cc, and
+// registers it with the host's demux table.
+func NewSender(h *Host, flow netsim.FlowID, dst int, size int64, cc CongestionControl) *Sender {
+	s := &Sender{
+		Host: h, Flow: flow, Dst: dst, Size: size, CC: cc,
+		DupThresh: 3,
+		MinRTO:    200 * netsim.Millisecond,
+		bySeq:     make(map[int64]*segment),
+	}
+	h.registerSender(s)
+	return s
+}
+
+// Start begins transmission.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.startAt = s.Host.Eng.Now()
+	s.rateWinStart = s.startAt
+	s.CC.Start(s.startAt)
+	s.armRTO()
+	s.maybeSend()
+}
+
+// AckedBytes returns the cumulative payload bytes acknowledged.
+func (s *Sender) AckedBytes() int64 { return s.ackedBytes }
+
+// Completed reports whether the whole flow has been acknowledged.
+func (s *Sender) Completed() bool { return s.completed }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() netsim.Time { return s.srtt }
+
+// Inflight returns the bytes currently outstanding.
+func (s *Sender) Inflight() int { return s.inflight }
+
+// remaining reports whether new (never-sent) data exists.
+func (s *Sender) remaining() bool {
+	return s.Size == 0 || s.nextSeq < s.Size
+}
+
+// maybeSend kicks the pacing loop if it is idle and work is available.
+func (s *Sender) maybeSend() {
+	if s.pacing || s.completed {
+		return
+	}
+	s.pacing = true
+	s.sendLoop()
+}
+
+func (s *Sender) sendLoop() {
+	if s.completed {
+		s.pacing = false
+		return
+	}
+	// Anything to send?
+	if len(s.rtxQueue) == 0 && !s.remaining() {
+		s.pacing = false
+		return
+	}
+	// Window check.
+	if s.inflight+netsim.MSS > s.CC.CwndBytes() {
+		s.pacing = false // resumed by the next ACK
+		return
+	}
+	seg := s.pickSegment()
+	if seg == nil {
+		s.pacing = false
+		return
+	}
+	s.transmit(seg)
+
+	rate := s.CC.PacingRate()
+	if rate < 1000 {
+		rate = 1000 // floor: one packet per ~12 s, keeps the loop alive
+	}
+	wire := int64(seg.size+netsim.HeaderBytes) * 8
+	gap := netsim.Time(wire * int64(netsim.Second) / rate)
+	s.Host.Eng.After(gap, s.sendLoop)
+}
+
+// pickSegment returns the next segment to transmit: retransmissions first.
+func (s *Sender) pickSegment() *segment {
+	if len(s.rtxQueue) > 0 {
+		seg := s.rtxQueue[0]
+		s.rtxQueue = s.rtxQueue[1:]
+		if seg.acked {
+			return s.pickSegment()
+		}
+		seg.rtx++
+		s.Retransmits++
+		return seg
+	}
+	if !s.remaining() {
+		return nil
+	}
+	size := netsim.MSS
+	if s.Size > 0 && s.Size-s.nextSeq < int64(size) {
+		size = int(s.Size - s.nextSeq)
+	}
+	seg := &segment{seq: s.nextSeq, size: size}
+	if s.Size > 0 && s.nextSeq+int64(size) >= s.Size {
+		seg.fin = true
+	}
+	s.nextSeq += int64(size)
+	s.outstanding = append(s.outstanding, seg)
+	s.bySeq[seg.seq] = seg
+	return seg
+}
+
+func (s *Sender) transmit(seg *segment) {
+	now := s.Host.Eng.Now()
+	seg.sentAt = now
+	seg.lost = false
+	s.inflight += seg.size
+	s.Host.Transmit(&netsim.Packet{
+		Flow: s.Flow, Src: s.Host.ID, Dst: s.Dst,
+		Seq: seg.seq, Size: seg.size + netsim.HeaderBytes,
+		FIN: seg.fin, SentAt: now,
+		Prio: s.Prio, Path: s.Path,
+	})
+}
+
+// handleAck processes a selective acknowledgment for one segment.
+func (s *Sender) handleAck(p *netsim.Packet) {
+	if s.completed {
+		return
+	}
+	seg, ok := s.bySeq[p.AckNo]
+	if !ok || seg.acked {
+		return
+	}
+	now := s.Host.Eng.Now()
+	seg.acked = true
+	delete(s.bySeq, seg.seq)
+	if !seg.lost {
+		s.inflight -= seg.size
+	}
+	s.ackedBytes += int64(seg.size)
+	if seg.seq > s.highestAck {
+		s.highestAck = seg.seq
+	}
+
+	// RTT sampling (Karn's rule: skip retransmitted segments).
+	var rtt netsim.Time
+	if seg.rtx == 0 {
+		rtt = now - seg.sentAt
+		if s.srtt == 0 {
+			s.srtt = rtt
+			s.rttvar = rtt / 2
+		} else {
+			diff := s.srtt - rtt
+			if diff < 0 {
+				diff = -diff
+			}
+			s.rttvar = (3*s.rttvar + diff) / 4
+			s.srtt = (7*s.srtt + rtt) / 8
+		}
+	}
+
+	// Delivery-rate estimation over an SRTT-wide window.
+	s.rateWinBytes += int64(seg.size)
+	win := s.srtt
+	if win < netsim.Millisecond {
+		win = netsim.Millisecond
+	}
+	if now-s.rateWinStart >= win {
+		s.deliveryRate = s.rateWinBytes * 8 * int64(netsim.Second) / int64(now-s.rateWinStart)
+		s.rateWinStart = now
+		s.rateWinBytes = 0
+	}
+
+	s.armRTO()
+	s.detectLoss(seg)
+
+	s.CC.OnAck(AckInfo{
+		Now: now, RTT: rtt, SRTT: s.srtt,
+		AckedBytes: seg.size, ECE: p.ECE,
+		Inflight: s.inflight, DeliveryRate: s.deliveryRate,
+	})
+
+	s.pruneOutstanding()
+
+	if s.Size > 0 && s.ackedBytes >= s.Size {
+		s.completed = true
+		if s.OnComplete != nil {
+			s.OnComplete(now - s.startAt)
+		}
+		return
+	}
+	s.maybeSend()
+}
+
+// detectLoss marks outstanding segments that precede the just-acked segment
+// by more than DupThresh segments (and were sent earlier) as lost.
+func (s *Sender) detectLoss(acked *segment) {
+	threshold := s.highestAck - int64(s.DupThresh*netsim.MSS)
+	lost := 0
+	for _, seg := range s.outstanding {
+		if seg.acked || seg.lost {
+			continue
+		}
+		if seg.seq < threshold && seg.sentAt <= acked.sentAt {
+			seg.lost = true
+			s.inflight -= seg.size
+			lost += seg.size
+			s.rtxQueue = append(s.rtxQueue, seg)
+		}
+	}
+	if lost > 0 {
+		s.CC.OnLoss(LossInfo{Now: s.Host.Eng.Now(), LostBytes: lost})
+		s.maybeSend()
+	}
+}
+
+// pruneOutstanding drops acked segments from the front of the ordered list.
+func (s *Sender) pruneOutstanding() {
+	i := 0
+	for i < len(s.outstanding) && s.outstanding[i].acked {
+		i++
+	}
+	if i > 0 {
+		s.outstanding = s.outstanding[i:]
+	}
+}
+
+func (s *Sender) rto() netsim.Time {
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.MinRTO {
+		rto = s.MinRTO
+	}
+	return rto
+}
+
+func (s *Sender) armRTO() {
+	s.rtoSeq++
+	seq := s.rtoSeq
+	s.rtoArm = true
+	s.Host.Eng.After(s.rto(), func() { s.fireRTO(seq) })
+}
+
+func (s *Sender) fireRTO(seq int) {
+	if seq != s.rtoSeq || s.completed || !s.rtoArm {
+		return
+	}
+	// Anything outstanding and un-lost is now presumed lost.
+	lost := 0
+	for _, seg := range s.outstanding {
+		if seg.acked || seg.lost {
+			continue
+		}
+		seg.lost = true
+		s.inflight -= seg.size
+		lost += seg.size
+		s.rtxQueue = append(s.rtxQueue, seg)
+	}
+	if lost > 0 {
+		s.Timeouts++
+		s.CC.OnLoss(LossInfo{Now: s.Host.Eng.Now(), LostBytes: lost, Timeout: true})
+	}
+	s.armRTO()
+	s.maybeSend()
+}

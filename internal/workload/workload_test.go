@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+)
+
+func TestWebSearchDistribution(t *testing.T) {
+	d := WebSearch()
+	r := rand.New(rand.NewSource(1))
+	var short, mid, long int
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		s := d.Sample(r)
+		sum += float64(s)
+		switch ClassOf(s) {
+		case Short:
+			short++
+		case Middle:
+			mid++
+		default:
+			long++
+		}
+	}
+	// The web-search workload is mostly short flows with a heavy tail.
+	if float64(short)/n < 0.10 || float64(short)/n > 0.30 {
+		t.Errorf("short fraction = %.3f", float64(short)/n)
+	}
+	if float64(long)/n < 0.30 || float64(long)/n > 0.55 {
+		t.Errorf("long fraction = %.3f", float64(long)/n)
+	}
+	// Empirical mean should be near the analytic mean.
+	mean := sum / n
+	if mean < d.Mean()*0.9 || mean > d.Mean()*1.1 {
+		t.Errorf("empirical mean %.0f vs analytic %.0f", mean, d.Mean())
+	}
+	if d.Mean() < 500_000 || d.Mean() > 3_000_000 {
+		t.Errorf("web-search mean = %.0f bytes, expected ~MB scale", d.Mean())
+	}
+}
+
+func TestSizeDistValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSizeDist([]float64{1}, []float64{1}) },
+		func() { NewSizeDist([]float64{1, 2}, []float64{0.5, 0.9}) },  // doesn't end at 1
+		func() { NewSizeDist([]float64{2, 1}, []float64{0.5, 1}) },    // sizes descending
+		func() { NewSizeDist([]float64{1, 2}, []float64{0.9, 0.5}) },  // cdf descending
+		func() { NewSizeDist([]float64{1, 2, 3}, []float64{0.5, 1}) }, // length mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid CDF must panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSampleWithinBounds(t *testing.T) {
+	d := WebSearch()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			s := d.Sample(r)
+			if s < 1 || s > 30_000_000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[int64]Class{
+		100:       Short,
+		9_999:     Short,
+		10_000:    Middle,
+		100_000:   Middle,
+		100_001:   Long,
+		5_000_000: Long,
+	}
+	for size, want := range cases {
+		if got := ClassOf(size); got != want {
+			t.Errorf("ClassOf(%d) = %v, want %v", size, got, want)
+		}
+	}
+	for _, c := range []Class{Short, Middle, Long} {
+		if c.String() == "" {
+			t.Error("class must render")
+		}
+	}
+}
+
+func TestGenerateFlows(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	flows := Generate(r, 1000, 32, 0.4, 10e9, WebSearch())
+	if len(flows) != 1000 {
+		t.Fatalf("generated %d flows", len(flows))
+	}
+	prev := netsim.Time(-1)
+	for _, f := range flows {
+		if f.At < prev {
+			t.Fatal("arrivals must be nondecreasing")
+		}
+		prev = f.At
+		if f.Src == f.Dst {
+			t.Fatal("src == dst")
+		}
+		if f.Src < 0 || f.Src >= 32 || f.Dst < 0 || f.Dst >= 32 {
+			t.Fatal("host out of range")
+		}
+		if f.Size < 1 {
+			t.Fatal("non-positive size")
+		}
+	}
+	// Arrival rate should roughly produce the requested load: expected
+	// duration for 1000 flows at λ = 0.4·32·10e9/(mean·8).
+	lambda := 0.4 * 32 * 10e9 / (WebSearch().Mean() * 8)
+	expected := netsim.Time(float64(1000) / lambda * 1e9)
+	last := flows[len(flows)-1].At
+	if last < expected/2 || last > expected*2 {
+		t.Errorf("span = %v, expected ≈ %v", last, expected)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("hosts < 2 must panic")
+		}
+	}()
+	Generate(rand.New(rand.NewSource(1)), 1, 1, 0.5, 1e9, WebSearch())
+}
+
+type fakeRate struct{ rates []int64 }
+
+func (f *fakeRate) SetRate(bps int64) { f.rates = append(f.rates, bps) }
+
+func TestPatternSwitcher(t *testing.T) {
+	eng := netsim.NewEngine()
+	tgt := &fakeRate{}
+	var switches []netsim.Time
+	p := NewPatternSwitcher(eng, tgt, 100*netsim.Millisecond, []int64{100, 200, 300}, 7)
+	p.OnSwitch = func(at netsim.Time, bps int64) { switches = append(switches, at) }
+	p.Start()
+	eng.RunUntil(550 * netsim.Millisecond)
+	p.Stop()
+	if len(tgt.rates) < 5 {
+		t.Fatalf("got %d rate changes, want ≥ 5", len(tgt.rates))
+	}
+	for i := 1; i < len(tgt.rates); i++ {
+		if tgt.rates[i] == tgt.rates[i-1] {
+			t.Error("switcher must never repeat the current rate")
+		}
+	}
+	if switches[0] != 0 {
+		t.Error("first rate applies immediately")
+	}
+}
+
+func TestPatternSwitcherValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("single-rate switcher must panic")
+		}
+	}()
+	NewPatternSwitcher(netsim.NewEngine(), &fakeRate{}, 1, []int64{5}, 1)
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := WebSearch()
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Sample(r)
+	}
+}

@@ -1,0 +1,175 @@
+// Package liteflow is the public API of LiteFlow-Go, a reproduction of
+// "LiteFlow: Towards High-performance Adaptive Neural Networks for Kernel
+// Datapath" (SIGCOMM 2022) on a simulated kernel datapath.
+//
+// LiteFlow decouples an adaptive neural network's control path into a
+// kernel-space fast path for inference (integer-quantized snapshot modules,
+// an inference router with active/standby switching and a flow-consistency
+// cache) and a userspace slow path for model tuning (batched data delivery,
+// convergence and fidelity gating, conservative snapshot installation).
+//
+// A minimal deployment looks like:
+//
+//	eng := liteflow.NewEngine()
+//	lf := liteflow.New(eng, nil, liteflow.DefaultCosts(), liteflow.DefaultConfig())
+//	snap, _ := liteflow.BuildSnapshot(trainedNet, liteflow.DefaultQuantConfig(), "model0")
+//	lf.RegisterModel(snap)                  // lf_register_model
+//	lf.QueryModel(flowID, input, output)    // lf_query_model
+//
+// and the slow path attaches with NewService + a Freezer/Evaluator/Adapter
+// implementation. See examples/quickstart for a complete program and
+// DESIGN.md for the system inventory.
+package liteflow
+
+import (
+	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+// Core framework types (paper Table 1 and §4). Core's methods map onto the
+// paper's API: RegisterModel = lf_register_model, RegisterIO/UnregisterIO =
+// lf_register_io/lf_unregister_io, QueryModel = lf_query_model.
+type (
+	// Core is the kernel-space LiteFlow core module.
+	Core = core.Core
+	// Config tunes the update policy (α threshold, stability window,
+	// flow-cache timeout, quantization).
+	Config = core.Config
+	// Model is an installed NN snapshot with its router state.
+	Model = core.Model
+	// IOModule is a user input collector & output enforcer.
+	IOModule = core.IOModule
+	// Service is the userspace slow-path service.
+	Service = core.Service
+	// Sample is one kernel-collected training record.
+	Sample = core.Sample
+	// Freezer, Evaluator and Adapter are the three user interfaces of the
+	// userspace service (paper §4.1).
+	Freezer   = core.Freezer
+	Evaluator = core.Evaluator
+	Adapter   = core.Adapter
+	// Stats counts core-module activity; ServiceStats the slow path's.
+	Stats        = core.Stats
+	ServiceStats = core.ServiceStats
+	// FlowBackend adapts the core to per-flow congestion-control queries.
+	FlowBackend = core.FlowBackend
+)
+
+// Substrate types needed to embed LiteFlow in a simulation.
+type (
+	// Engine is the discrete-event simulator clock all components share.
+	Engine = netsim.Engine
+	// FlowID identifies a transport flow (flow cache key).
+	FlowID = netsim.FlowID
+	// CPU models a host's finite processing capacity.
+	CPU = ksim.CPU
+	// Costs is the CPU cost calibration table.
+	Costs = ksim.Costs
+	// Channel is the batched kernel↔userspace netlink channel.
+	Channel = netlink.Channel
+	// Network is a float64 userspace MLP (the tunable slow-path model).
+	Network = nn.Network
+	// QuantConfig controls integer quantization of snapshots.
+	QuantConfig = quant.Config
+	// Program is an integer-only executable snapshot.
+	Program = quant.Program
+	// Snapshot is a generated module: source artifact plus executable.
+	Snapshot = codegen.Module
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time = netsim.Time
+
+// Re-exported durations.
+const (
+	Microsecond = netsim.Microsecond
+	Millisecond = netsim.Millisecond
+	Second      = netsim.Second
+)
+
+// NewEngine returns a fresh discrete-event engine.
+func NewEngine() *Engine { return netsim.NewEngine() }
+
+// NewCPU returns a CPU with the given core count attached to eng.
+func NewCPU(eng *Engine, cores int) *CPU { return ksim.NewCPU(eng, cores) }
+
+// DefaultCosts returns the calibrated CPU cost table (see internal/ksim).
+func DefaultCosts() Costs { return ksim.DefaultCosts() }
+
+// DefaultConfig returns the paper-calibrated framework configuration
+// (α = 5%, T-independent gating defaults, 1000× output scaling).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultQuantConfig returns the default high-precision integer quantization
+// settings (paper §3.1).
+func DefaultQuantConfig() QuantConfig { return quant.DefaultConfig() }
+
+// New creates a LiteFlow core module on eng. cpu may be nil to disable CPU
+// cost accounting.
+func New(eng *Engine, cpu *CPU, costs Costs, cfg Config) *Core {
+	return core.New(eng, cpu, costs, cfg)
+}
+
+// NewNetwork builds a float userspace network with the given layer sizes and
+// activations, deterministically initialized from seed.
+func NewNetwork(sizes []int, acts []Activation, seed int64) *Network {
+	return nn.New(sizes, acts, seed)
+}
+
+// Activation selects a layer nonlinearity for NewNetwork.
+type Activation = nn.Activation
+
+// Supported activations.
+const (
+	Linear  = nn.Linear
+	ReLU    = nn.ReLU
+	Tanh    = nn.Tanh
+	Sigmoid = nn.Sigmoid
+)
+
+// Quantize converts a trained float network into an integer-only program.
+func Quantize(net *Network, cfg QuantConfig) *Program { return quant.Quantize(net, cfg) }
+
+// BuildSnapshot quantizes net and generates a validated snapshot module —
+// quantization, layer-wise code translation, and the compile check in one
+// step (paper §3.1).
+func BuildSnapshot(net *Network, cfg QuantConfig, name string) (*Snapshot, error) {
+	return codegen.Build(quant.Quantize(net, cfg), name)
+}
+
+// GenerateSource renders the snapshot module source for a quantized program
+// without building the executable wrapper (the lfgen tool's core).
+func GenerateSource(p *Program, name string) (string, error) {
+	return codegen.Generate(p, name)
+}
+
+// NewChannel creates a batched netlink channel on the given host CPU. Pass
+// the service's HandleBatch (or use NewService, which wires itself).
+func NewChannel(eng *Engine, cpu *CPU, costs Costs, deliver func([]netlink.Message)) *Channel {
+	return netlink.New(eng, cpu, costs, deliver)
+}
+
+// Message is one netlink record; EncodeSample/DecodeSample convert samples.
+type Message = netlink.Message
+
+// EncodeSample packs a training sample for the kernel-side batch buffer.
+func EncodeSample(s Sample) Message { return core.EncodeSample(s) }
+
+// DecodeSample unpacks a batched record; ok is false for malformed payloads.
+func DecodeSample(m Message) (Sample, bool) { return core.DecodeSample(m) }
+
+// NewService wires the userspace slow path to a core and its channel.
+func NewService(c *Core, ch *Channel, f Freezer, e Evaluator, a Adapter) *Service {
+	return core.NewService(c, ch, f, e, a)
+}
+
+// NewFlowBackend returns a fast-path inference backend for one flow,
+// compatible with the cc package's Backend interface.
+func NewFlowBackend(c *Core, flow FlowID) *FlowBackend {
+	return core.NewFlowBackend(c, flow)
+}
