@@ -8,50 +8,106 @@
 //	lfbench -exp fig11            # run one experiment at full scale
 //	lfbench -exp fig11 -scale 0.2 # faster, smaller run
 //	lfbench -all                  # regenerate everything (EXPERIMENTS.md data)
+//
+// With -trace/-metrics-out, the run's telemetry (all experiments share one
+// registry and tracer) is exported to Chrome trace-event JSON / Prometheus
+// text after the experiments finish.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"github.com/liteflow-sim/liteflow/internal/experiments"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lfbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment in paper order")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.Float64("scale", 1.0, "duration/size scale factor (1.0 = paper shape)")
-		seed  = flag.Int64("seed", 1, "random seed")
+		exp        = fs.String("exp", "", "experiment ID to run (see -list)")
+		all        = fs.Bool("all", false, "run every experiment in paper order")
+		list       = fs.Bool("list", false, "list available experiments")
+		scale      = fs.Float64("scale", 1.0, "duration/size scale factor (1.0 = paper shape)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		trace      = fs.String("trace", "", "write Chrome trace-event JSON to this file")
+		metricsOut = fs.String("metrics-out", "", "write Prometheus text metrics to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if *trace != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(0)
+		cfg.Obs = obs.New(reg, tracer)
+	}
 
 	switch {
 	case *list:
 		for _, r := range experiments.All() {
-			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", r.ID, r.Title)
 		}
 	case *all:
-		cfg := experiments.Config{Scale: *scale, Seed: *seed}
 		for _, r := range experiments.All() {
 			start := time.Now()
 			res := r.Run(cfg)
-			fmt.Println(res.String())
-			fmt.Printf("(%s completed in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+			fmt.Fprintln(stdout, res.String())
+			fmt.Fprintf(stdout, "(%s completed in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
 		}
 	case *exp != "":
 		r, ok := experiments.ByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lfbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "lfbench: unknown experiment %q (try -list)\n", *exp)
+			return 2
 		}
-		res := r.Run(experiments.Config{Scale: *scale, Seed: *seed})
-		fmt.Println(res.String())
+		res := r.Run(cfg)
+		fmt.Fprintln(stdout, res.String())
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+
+	if err := writeExports(*trace, *metricsOut, reg, tracer); err != nil {
+		fmt.Fprintln(stderr, "lfbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// writeExports flushes telemetry to the requested files, if any.
+func writeExports(trace, metricsOut string, reg *obs.Registry, tracer *obs.Tracer) error {
+	writeTo := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if trace != "" {
+		if err := writeTo(trace, tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if err := writeTo(metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	return nil
 }

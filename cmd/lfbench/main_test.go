@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/experiments"
+)
+
+func TestLfbenchList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -list exited %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, r := range experiments.All() {
+		if !strings.Contains(out, r.ID) {
+			t.Errorf("-list output missing experiment %q", r.ID)
+		}
+	}
+}
+
+func TestLfbenchUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "no-such-figure"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown experiment exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+func TestLfbenchNoArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-arg run exited %d, want 2", code)
+	}
+}

@@ -8,11 +8,19 @@
 //	lfsim -cc lf-aurora -flows 4 -duration 5s -congested
 //	lfsim -cc ccp-aurora -interval 10ms -flows 10
 //	lfsim -cc bbr -flows 10
+//
+// Telemetry: -trace writes a Chrome trace-event JSON (load it in Perfetto or
+// chrome://tracing), -metrics-out writes Prometheus text exposition, and
+// -listen serves both live on /metrics and /debug/trace after the run.
+//
+//	lfsim -cc lf-aurora -adapt -congested -trace trace.json -metrics-out metrics.prom
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -20,43 +28,124 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/core"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 	"github.com/liteflow-sim/liteflow/internal/tcp"
 	"github.com/liteflow-sim/liteflow/internal/topo"
 )
 
+// options carries every flag so runs are reproducible from tests.
+type options struct {
+	scheme    string
+	flows     int
+	duration  time.Duration
+	warmup    time.Duration
+	interval  time.Duration
+	congested bool
+	adapt     bool
+	batchT    time.Duration
+	pretrain  int
+
+	trace       string
+	traceJSONL  string
+	metricsOut  string
+	listen      string
+	traceEvents int
+}
+
 func main() {
-	var (
-		scheme    = flag.String("cc", "bbr", "scheme: bbr | cubic | lf-aurora | lf-mocc | ccp-aurora | ccp-mocc")
-		flows     = flag.Int("flows", 1, "concurrent flows")
-		duration  = flag.Duration("duration", 5*time.Second, "measured duration (after 2s warmup)")
-		interval  = flag.Duration("interval", 10*time.Millisecond, "CCP communication interval (0 = per-ACK)")
-		congested = flag.Bool("congested", false, "1 Gbps bottleneck + 0.1 Gbps UDP background")
-	)
+	var o options
+	flag.StringVar(&o.scheme, "cc", "bbr", "scheme: bbr | cubic | lf-aurora | lf-mocc | ccp-aurora | ccp-mocc")
+	flag.IntVar(&o.flows, "flows", 1, "concurrent flows")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "measured duration (after warmup)")
+	flag.DurationVar(&o.warmup, "warmup", 2*time.Second, "warmup before measurement starts")
+	flag.DurationVar(&o.interval, "interval", 10*time.Millisecond, "CCP communication interval (0 = per-ACK)")
+	flag.BoolVar(&o.congested, "congested", false, "1 Gbps bottleneck + 0.1 Gbps UDP background")
+	flag.BoolVar(&o.adapt, "adapt", false, "lf-* schemes: wire the userspace slow path (netlink batching + service)")
+	flag.DurationVar(&o.batchT, "batch-interval", 100*time.Millisecond, "slow-path batch delivery interval T (with -adapt)")
+	flag.IntVar(&o.pretrain, "pretrain", 400, "policy pretraining iterations for NN schemes")
+	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON to this file")
+	flag.StringVar(&o.traceJSONL, "trace-jsonl", "", "write trace events as JSON lines to this file")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write Prometheus text metrics to this file")
+	flag.StringVar(&o.listen, "listen", "", "serve /metrics and /debug/trace on this address after the run (e.g. :9090)")
+	flag.IntVar(&o.traceEvents, "trace-events", obs.DefaultTraceCapacity, "trace ring capacity in events")
 	flag.Parse()
+
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lfsim:", err)
+		os.Exit(1)
+	}
+}
+
+// staticUser is the slow-path user for -adapt runs: it never retunes the
+// model, so the service's convergence gate opens immediately and every
+// necessity check exercises the full netlink round trip (then skips the
+// install because fidelity loss is zero).
+type staticUser struct{ net *nn.Network }
+
+func (u staticUser) Freeze() *nn.Network          { return u.net }
+func (u staticUser) Stability() float64           { return 1 }
+func (u staticUser) Infer(in []float64) []float64 { return u.net.Infer(in) }
+func (u staticUser) Adapt([]core.Sample)          {}
+
+// sampledBackend wraps the kernel fast path and mirrors each query into the
+// netlink batch buffer, standing in for the paper's kernel-side data
+// collector.
+type sampledBackend struct {
+	inner cc.Backend
+	ch    *netlink.Channel
+	eng   *netsim.Engine
+}
+
+func (b *sampledBackend) Query(state []float64, reply func(action float64)) {
+	b.inner.Query(state, func(a float64) {
+		b.ch.Push(core.EncodeSample(core.Sample{
+			Input: append([]float64(nil), state...),
+			Aux:   []float64{a},
+			At:    b.eng.Now(),
+		}))
+		reply(a)
+	})
+}
+
+func run(o options, stdout, stderr io.Writer) error {
+	wantTelemetry := o.trace != "" || o.traceJSONL != "" || o.metricsOut != "" || o.listen != ""
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	var sc obs.Scope
+	if wantTelemetry {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(o.traceEvents)
+		sc = obs.New(reg, tracer)
+	}
 
 	eng := netsim.NewEngine()
 	opts := topo.TestbedOpts(1)
-	if !*congested {
+	if !o.congested {
 		opts.BottleneckBps = 40e9
 		opts.BufferBytes = 4 << 20
 	}
-	d := topo.NewDumbbell(eng, opts)
+	d := topo.NewDumbbell(eng, opts, sc)
 	costs := ksim.DefaultCosts()
-	d.AttachCPUs(4, costs)
+	d.AttachCPUs(4, costs, sc)
 	sender, receiver := d.Senders[0], d.Receivers[0]
 
-	if *congested {
+	if o.congested {
 		u := tcp.NewUDPSource(d.UDPHost, 9999, receiver.ID, 100e6)
 		u.Start()
 		defer u.Stop()
 	}
 
 	// Policy nets for the NN schemes.
-	needAurora := *scheme == "lf-aurora" || *scheme == "ccp-aurora"
-	needMOCC := *scheme == "lf-mocc" || *scheme == "ccp-mocc"
+	isLF := o.scheme == "lf-aurora" || o.scheme == "lf-mocc"
+	needAurora := o.scheme == "lf-aurora" || o.scheme == "ccp-aurora"
+	needMOCC := o.scheme == "lf-mocc" || o.scheme == "ccp-mocc"
 	var lf *core.Core
+	var svc *core.Service
+	var ch *netlink.Channel
 	var policy cc.Policy
 	var macs int
 	if needAurora || needMOCC {
@@ -64,56 +153,69 @@ func main() {
 		if needMOCC {
 			net = cc.NewMOCCNet(1)
 		}
-		fmt.Fprintln(os.Stderr, "pretraining policy network…")
-		cc.Pretrain(net, 400, 2)
+		fmt.Fprintln(stderr, "pretraining policy network…")
+		cc.Pretrain(net, o.pretrain, 2)
 		policy = cc.NewNNPolicy(net)
 		macs = net.MACs()
-		if *scheme == "lf-aurora" || *scheme == "lf-mocc" {
+		if isLF {
 			cfg := core.DefaultConfig()
 			cfg.FlowCacheTimeout = 0
-			lf = core.New(eng, sender.CPU, costs, cfg)
+			lf = core.New(eng, sender.CPU, costs, cfg, sc)
 			mod, err := codegen.Build(quant.Quantize(net, cfg.Quant), "model")
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "lfsim:", err)
-				os.Exit(1)
+				return err
 			}
 			if _, err := lf.RegisterModel(mod); err != nil {
-				fmt.Fprintln(os.Stderr, "lfsim:", err)
-				os.Exit(1)
+				return err
+			}
+			if o.adapt {
+				ch = netlink.New(eng, sender.CPU, costs, nil, sc)
+				svc = core.NewService(lf, ch, staticUser{net}, staticUser{net}, staticUser{net})
+				svc.Start(netsim.Time(o.batchT.Nanoseconds()))
 			}
 		}
 	}
+	if o.adapt && !isLF {
+		return fmt.Errorf("-adapt requires an lf-* scheme, got %q", o.scheme)
+	}
 
 	var ctrls []*cc.MIController
+	var schemeErr error
 	makeCtrl := func(flow netsim.FlowID) tcp.CongestionControl {
-		switch *scheme {
+		switch o.scheme {
 		case "bbr":
 			return cc.NewBBR()
 		case "cubic":
 			return cc.NewCubic()
 		case "lf-aurora", "lf-mocc":
-			m := cc.NewMIController(eng, core.NewFlowBackend(lf, flow), 500e6)
+			var backend cc.Backend = core.NewFlowBackend(lf, flow)
+			if ch != nil {
+				backend = &sampledBackend{inner: backend, ch: ch, eng: eng}
+			}
+			m := cc.NewMIController(eng, backend, 500e6)
 			ctrls = append(ctrls, m)
 			return m
 		case "ccp-aurora", "ccp-mocc":
 			b := &cc.CCPBackend{Eng: eng, CPU: sender.CPU, Costs: costs,
-				Policy: policy, Interval: netsim.Time(interval.Nanoseconds()), UserMACs: macs}
+				Policy: policy, Interval: netsim.Time(o.interval.Nanoseconds()), UserMACs: macs}
 			m := cc.NewMIController(eng, b, 500e6)
 			ctrls = append(ctrls, m)
 			return m
 		}
-		fmt.Fprintf(os.Stderr, "lfsim: unknown scheme %q\n", *scheme)
-		os.Exit(2)
-		return nil
+		schemeErr = fmt.Errorf("unknown scheme %q", o.scheme)
+		return cc.NewBBR() // placeholder; the error aborts the run below
 	}
 
-	perFlow := make([]int64, *flows)
+	perFlow := make([]int64, o.flows)
 	measuring := false
 	var senders []*tcp.Sender
-	for i := 0; i < *flows; i++ {
+	for i := 0; i < o.flows; i++ {
 		i := i
 		f := netsim.FlowID(i + 1)
 		s := tcp.NewSender(sender, f, receiver.ID, 0, makeCtrl(f))
+		if schemeErr != nil {
+			return schemeErr
+		}
 		rcv := tcp.NewReceiver(receiver, f, sender.ID)
 		rcv.OnDeliver = func(n int, now netsim.Time) {
 			if measuring {
@@ -124,31 +226,79 @@ func main() {
 		senders = append(senders, s)
 	}
 
-	warmup := 2 * netsim.Second
+	warmup := netsim.Time(o.warmup.Nanoseconds())
 	eng.RunUntil(warmup)
 	measuring = true
 	sender.CPU.ResetAccounting()
-	eng.RunUntil(warmup + netsim.Time(duration.Nanoseconds()))
+	eng.RunUntil(warmup + netsim.Time(o.duration.Nanoseconds()))
 	for _, m := range ctrls {
 		m.Stop()
+	}
+	if ch != nil {
+		ch.StopBatching()
 	}
 	if lf != nil {
 		lf.StopSweeper()
 	}
 
-	secs := duration.Seconds()
+	secs := o.duration.Seconds()
 	var agg float64
 	for i, b := range perFlow {
 		g := float64(b*8) / secs / 1e9
 		agg += g
-		fmt.Printf("flow %2d: %7.3f Gbps (rtx %d, timeouts %d)\n", i+1, g,
+		fmt.Fprintf(stdout, "flow %2d: %7.3f Gbps (rtx %d, timeouts %d)\n", i+1, g,
 			senders[i].Retransmits, senders[i].Timeouts)
 	}
-	fmt.Printf("aggregate: %.3f Gbps over %s\n", agg, *scheme)
-	fmt.Printf("sender CPU: %s\n", sender.CPU.Report())
+	fmt.Fprintf(stdout, "aggregate: %.3f Gbps over %s\n", agg, o.scheme)
+	fmt.Fprintf(stdout, "sender CPU: %s\n", sender.CPU.Report())
 	if lf != nil {
 		st := lf.Stats()
-		fmt.Printf("liteflow core: %d queries, %d cache hits, %d models\n",
+		fmt.Fprintf(stdout, "liteflow core: %d queries, %d cache hits, %d models\n",
 			st.Queries, st.CacheHits, lf.Models())
 	}
+	if svc != nil {
+		st := svc.Stats()
+		fmt.Fprintf(stdout, "liteflow service: %d batches, %d samples, %d fidelity checks, %d skipped, %d updates\n",
+			st.Batches, st.Samples, st.FidelityChecks, st.SkippedByNecessity, st.Updates)
+	}
+
+	if err := writeExports(o, reg, tracer); err != nil {
+		return err
+	}
+	if o.listen != "" {
+		fmt.Fprintf(stderr, "serving telemetry on %s (/metrics, /debug/trace) — ctrl-c to stop\n", o.listen)
+		return http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer))
+	}
+	return nil
+}
+
+// writeExports flushes the run's telemetry to the requested files.
+func writeExports(o options, reg *obs.Registry, tracer *obs.Tracer) error {
+	writeTo := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if o.trace != "" {
+		if err := writeTo(o.trace, tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if o.traceJSONL != "" {
+		if err := writeTo(o.traceJSONL, tracer.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if o.metricsOut != "" {
+		if err := writeTo(o.metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeOpts is a short congested lf-aurora run with the full slow path, sized
+// so the whole test finishes in a couple of seconds.
+func smokeOpts(dir string) options {
+	return options{
+		scheme:    "lf-aurora",
+		flows:     1,
+		duration:  100 * time.Millisecond,
+		warmup:    50 * time.Millisecond,
+		interval:  10 * time.Millisecond,
+		congested: true,
+		adapt:     true,
+		batchT:    20 * time.Millisecond,
+		pretrain:  40,
+
+		trace:      filepath.Join(dir, "trace.json"),
+		traceJSONL: filepath.Join(dir, "trace.jsonl"),
+		metricsOut: filepath.Join(dir, "metrics.prom"),
+	}
+}
+
+func TestLfsimSmoke(t *testing.T) {
+	dir := t.TempDir()
+	o := smokeOpts(dir)
+	var stdout, stderr bytes.Buffer
+	if err := run(o, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	report := stdout.String()
+	for _, want := range []string{"aggregate:", "sender CPU:", "liteflow core:", "liteflow service:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	raw, err := os.ReadFile(o.trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatalf("trace is not valid JSON (%d bytes)", len(raw))
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats := map[string]bool{}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		cats[e.Cat] = true
+		names[e.Cat+"/"+e.Name] = true
+	}
+	for _, cat := range []string{"snapshot", "flowcache", "netlink", "cpu"} {
+		if !cats[cat] {
+			t.Errorf("trace missing category %q (have %v)", cat, cats)
+		}
+	}
+	if !names["snapshot/install"] {
+		t.Error("trace missing snapshot/install event")
+	}
+	if !names["netlink/flush"] {
+		t.Error("trace missing netlink/flush event")
+	}
+
+	jl, err := os.ReadFile(o.traceJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range bytes.Split(bytes.TrimSpace(jl), []byte("\n")) {
+		if !json.Valid(line) {
+			t.Fatalf("trace.jsonl line %d is not valid JSON: %s", i+1, line)
+		}
+	}
+
+	prom, err := os.ReadFile(o.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE liteflow_core_queries_total counter",
+		"# TYPE liteflow_cpu_busy_ns_total counter",
+		"# TYPE liteflow_netlink_flushes_total counter",
+		"# TYPE liteflow_core_stall_ns histogram",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestLfsimDeterminism runs the same configuration twice and requires
+// byte-identical telemetry exports — the reproducibility contract for
+// simulated-time tracing.
+func TestLfsimDeterminism(t *testing.T) {
+	read := func(dir string) (trace, jsonl, prom []byte) {
+		o := smokeOpts(dir)
+		var stdout, stderr bytes.Buffer
+		if err := run(o, &stdout, &stderr); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+		}
+		for _, p := range []struct {
+			path string
+			dst  *[]byte
+		}{{o.trace, &trace}, {o.traceJSONL, &jsonl}, {o.metricsOut, &prom}} {
+			b, err := os.ReadFile(p.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*p.dst = b
+		}
+		return
+	}
+	t1, j1, p1 := read(t.TempDir())
+	t2, j2, p2 := read(t.TempDir())
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("Chrome traces differ between same-seed runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("JSONL traces differ between same-seed runs (%d vs %d bytes)", len(j1), len(j2))
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Errorf("Prometheus exports differ between same-seed runs:\n--- run1\n%s\n--- run2\n%s", p1, p2)
+	}
+}

@@ -16,10 +16,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 )
 
@@ -87,7 +89,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts core-module activity.
+// Stats counts core-module activity. It is a snapshot view over the core's
+// registry-backed counters (see coreMetrics).
 type Stats struct {
 	Queries        int64
 	CacheHits      int64
@@ -97,6 +100,35 @@ type Stats struct {
 	Unloads        int64
 	SweptEntries   int64
 	BlockedQueries int64
+}
+
+// coreMetrics holds the core's registry-backed instruments. With a no-op
+// scope the instruments are live but unregistered, so the Stats view keeps
+// returning exact counts at zero export cost.
+type coreMetrics struct {
+	queries     *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	switches    *obs.Counter
+	installs    *obs.Counter
+	unloads     *obs.Counter
+	swept       *obs.Counter
+	blocked     *obs.Counter
+	stallNS     *obs.Histogram
+}
+
+func newCoreMetrics(sc obs.Scope) coreMetrics {
+	return coreMetrics{
+		queries:     sc.Counter("liteflow_core_queries_total", "lf_query_model invocations"),
+		cacheHits:   sc.Counter("liteflow_core_flow_cache_hits_total", "flow-cache lookups served by a pinned snapshot"),
+		cacheMisses: sc.Counter("liteflow_core_flow_cache_misses_total", "flow-cache lookups that pinned the active snapshot"),
+		switches:    sc.Counter("liteflow_core_snapshot_switches_total", "active/standby role switches"),
+		installs:    sc.Counter("liteflow_core_snapshot_installs_total", "snapshot modules loaded into the NN manager"),
+		unloads:     sc.Counter("liteflow_core_snapshot_unloads_total", "retired snapshots removed at refcount 0"),
+		swept:       sc.Counter("liteflow_core_flow_cache_swept_total", "idle flow-cache entries evicted by the sweeper"),
+		blocked:     sc.Counter("liteflow_core_blocked_queries_total", "distinct fast-path queries stalled by a blocking install"),
+		stallNS:     sc.Histogram("liteflow_core_stall_ns", "per-query stall caused by blocking installs", obs.DurationBuckets()),
+	}
 }
 
 // Core is the kernel-space LiteFlow core module.
@@ -126,7 +158,8 @@ type Core struct {
 	// while set in the future, fast-path queries stall until release.
 	lockedUntil netsim.Time
 
-	stats    Stats
+	sc       obs.Scope
+	met      coreMetrics
 	sweeping bool
 }
 
@@ -136,14 +169,20 @@ type cacheEntry struct {
 }
 
 // New returns a core module bound to eng. cpu may be nil to disable CPU
-// accounting (pure-algorithm tests).
-func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config) *Core {
+// accounting (pure-algorithm tests). An optional obs.Scope exports the
+// core's counters to a metrics registry and its datapath events to a
+// tracer; omitted, telemetry is a no-op but the Stats view still counts.
+func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config, sc ...obs.Scope) *Core {
 	c := &Core{
 		Eng: eng, CPU: cpu, Costs: costs, Cfg: cfg,
 		cacheEnabled: true,
 		cache:        make(map[netsim.FlowID]*cacheEntry),
 		ios:          make(map[string]IOModule),
 	}
+	if len(sc) > 0 {
+		c.sc = sc[0]
+	}
+	c.met = newCoreMetrics(c.sc)
 	if cfg.FlowCacheTimeout > 0 {
 		c.sweeping = true
 		c.scheduleSweep()
@@ -151,20 +190,47 @@ func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config) *Core 
 	return c
 }
 
+// Obs returns the core's instrumentation scope (the no-op scope when none
+// was supplied to New).
+func (c *Core) Obs() obs.Scope { return c.sc }
+
 // SetFlowCache enables or disables flow-consistency caching (the paper lets
 // users disable it for functions that do not need it, e.g. per-packet load
 // balancing decisions).
 func (c *Core) SetFlowCache(enabled bool) {
 	c.cacheEnabled = enabled
 	if !enabled {
-		for f := range c.cache {
+		for _, f := range c.sortedCachedFlows() {
 			c.dropEntry(f)
 		}
 	}
 }
 
+// sortedCachedFlows returns the cached flow IDs in ascending order. Bulk
+// drops must not depend on map iteration order: eviction telemetry would
+// otherwise differ between same-seed runs.
+func (c *Core) sortedCachedFlows() []netsim.FlowID {
+	flows := make([]netsim.FlowID, 0, len(c.cache))
+	for f := range c.cache {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	return flows
+}
+
 // Stats returns a snapshot of the core's counters.
-func (c *Core) Stats() Stats { return c.stats }
+func (c *Core) Stats() Stats {
+	return Stats{
+		Queries:        c.met.queries.Value(),
+		CacheHits:      c.met.cacheHits.Value(),
+		CacheMisses:    c.met.cacheMisses.Value(),
+		Switches:       c.met.switches.Value(),
+		Installs:       c.met.installs.Value(),
+		Unloads:        c.met.unloads.Value(),
+		SweptEntries:   c.met.swept.Value(),
+		BlockedQueries: c.met.blocked.Value(),
+	}
+}
 
 // Models returns the number of loaded snapshot modules.
 func (c *Core) Models() int { return len(c.models) }
@@ -189,7 +255,8 @@ func (c *Core) RegisterModel(mod *codegen.Module) (*Model, error) {
 	}
 	m := &Model{Name: mod.Name, Module: mod, prog: mod.Program}
 	c.models = append(c.models, m)
-	c.stats.Installs++
+	c.met.installs.Inc()
+	c.sc.EventStr("snapshot", "install", c.Eng.Now(), "model", mod.Name)
 	if c.active == nil {
 		c.active = m
 	} else {
@@ -217,7 +284,8 @@ func (c *Core) Activate() error {
 	if old != nil {
 		old.retired = true
 	}
-	c.stats.Switches++
+	c.met.switches.Inc()
+	c.sc.EventStr("snapshot", "activate", c.Eng.Now(), "model", c.active.Name)
 	c.unloadDead()
 	return nil
 }
@@ -242,6 +310,7 @@ func (c *Core) InstallBlocking(mod *codegen.Module, installTime netsim.Time) err
 	if until > c.lockedUntil {
 		c.lockedUntil = until
 	}
+	c.sc.Span("snapshot", "blocking_install", c.Eng.Now(), installTime)
 	return nil
 }
 
@@ -296,7 +365,7 @@ func (c *Core) QueryModel(flow netsim.FlowID, in, out []int64) error {
 	if m == nil {
 		return errors.New("core: no model installed")
 	}
-	c.stats.Queries++
+	c.met.queries.Inc()
 	if c.CPU != nil {
 		c.CPU.Charge(ksim.Kernel, ksim.InferCost(c.Costs.KernelInferPerMAC, m.prog.MACs()))
 	}
@@ -311,14 +380,16 @@ func (c *Core) lookup(flow netsim.FlowID) *Model {
 		return c.active
 	}
 	if e, ok := c.cache[flow]; ok {
-		c.stats.CacheHits++
+		c.met.cacheHits.Inc()
+		c.sc.Event1("flowcache", "hit", c.Eng.Now(), "flow", int64(flow))
 		e.lastUsed = c.Eng.Now()
 		return e.model
 	}
 	if c.active == nil {
 		return nil
 	}
-	c.stats.CacheMisses++
+	c.met.cacheMisses.Inc()
+	c.sc.Event1("flowcache", "miss", c.Eng.Now(), "flow", int64(flow))
 	c.active.refs++
 	c.cache[flow] = &cacheEntry{model: c.active, lastUsed: c.Eng.Now()}
 	return c.active
@@ -336,6 +407,7 @@ func (c *Core) dropEntry(flow netsim.FlowID) {
 	}
 	delete(c.cache, flow)
 	e.model.refs--
+	c.sc.Event1("flowcache", "evict", c.Eng.Now(), "flow", int64(flow))
 	c.unloadDead()
 }
 
@@ -348,7 +420,8 @@ func (c *Core) unloadDead() {
 	kept := c.models[:0]
 	for _, m := range c.models {
 		if m.retired && m.refs <= 0 && m != c.active && m != c.standby {
-			c.stats.Unloads++
+			c.met.unloads.Inc()
+			c.sc.EventStr("snapshot", "unload", c.Eng.Now(), "model", m.Name)
 			continue
 		}
 		kept = append(kept, m)
@@ -362,11 +435,16 @@ func (c *Core) scheduleSweep() {
 			return
 		}
 		cutoff := c.Eng.Now() - c.Cfg.FlowCacheTimeout
-		for f, e := range c.cache {
-			if e.lastUsed < cutoff {
+		var swept int64
+		for _, f := range c.sortedCachedFlows() {
+			if e, ok := c.cache[f]; ok && e.lastUsed < cutoff {
 				c.dropEntry(f)
-				c.stats.SweptEntries++
+				swept++
 			}
+		}
+		c.met.swept.Add(swept)
+		if swept > 0 {
+			c.sc.Event1("flowcache", "sweep", c.Eng.Now(), "swept", swept)
 		}
 		c.scheduleSweep()
 	})
@@ -396,12 +474,28 @@ func NewFlowBackend(c *Core, flow netsim.FlowID) *FlowBackend {
 // While a blocking install holds the router lock, the query stalls until
 // release — the datapath interference the active-standby design eliminates.
 func (b *FlowBackend) Query(state []float64, reply func(action float64)) {
-	if rem := b.Core.LockRemaining(); rem > 0 {
-		b.Core.stats.BlockedQueries++
-		b.Core.Eng.After(rem, func() { b.Query(state, reply) })
+	b.query(state, reply, -1)
+}
+
+// query carries the time the query first stalled (-1 when it has not). A
+// blocked query counts once however many times it re-checks the lock, and
+// its total stall is recorded when it finally runs.
+func (b *FlowBackend) query(state []float64, reply func(action float64), stallStart netsim.Time) {
+	c := b.Core
+	if rem := c.LockRemaining(); rem > 0 {
+		if stallStart < 0 {
+			stallStart = c.Eng.Now()
+			c.met.blocked.Inc()
+		}
+		c.Eng.After(rem, func() { b.query(state, reply, stallStart) })
 		return
 	}
-	m := b.Core.lookup(b.Flow)
+	if stallStart >= 0 {
+		stall := c.Eng.Now() - stallStart
+		c.met.stallNS.Observe(float64(stall))
+		c.sc.Span1("snapshot", "stall", stallStart, stall, "flow", int64(b.Flow))
+	}
+	m := c.lookup(b.Flow)
 	if m == nil {
 		reply(0)
 		return
@@ -415,7 +509,7 @@ func (b *FlowBackend) Query(state []float64, reply func(action float64)) {
 	for i, x := range state {
 		b.in[i] = int64(x * float64(prog.InputScale))
 	}
-	b.Core.stats.Queries++
+	c.met.queries.Inc()
 	if b.Core.CPU != nil {
 		b.Core.CPU.Charge(ksim.Kernel, ksim.InferCost(b.Core.Costs.KernelInferPerMAC, prog.MACs()))
 	}

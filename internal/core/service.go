@@ -2,12 +2,14 @@ package core
 
 import (
 	"math"
+	"strconv"
 
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netlink"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 )
 
@@ -71,7 +73,8 @@ type Adapter interface {
 	Adapt(batch []Sample)
 }
 
-// ServiceStats counts slow-path activity.
+// ServiceStats counts slow-path activity. It is a snapshot view over the
+// service's registry-backed instruments.
 type ServiceStats struct {
 	Batches            int64
 	Samples            int64
@@ -79,8 +82,36 @@ type ServiceStats struct {
 	FidelityChecks     int64
 	Updates            int64 // snapshots actually installed
 	SkippedByNecessity int64
+	BuildFailures      int64 // snapshot codegen failures (install skipped)
 	LastFidelity       float64
 	LastStability      float64
+}
+
+// serviceMetrics holds the service's registry-backed instruments.
+type serviceMetrics struct {
+	batches        *obs.Counter
+	samples        *obs.Counter
+	converged      *obs.Counter
+	fidelityChecks *obs.Counter
+	updates        *obs.Counter
+	skipped        *obs.Counter
+	buildFailures  *obs.Counter
+	lastFidelity   *obs.Gauge
+	lastStability  *obs.Gauge
+}
+
+func newServiceMetrics(sc obs.Scope) serviceMetrics {
+	return serviceMetrics{
+		batches:        sc.Counter("liteflow_service_batches_total", "sample batches processed by the slow path"),
+		samples:        sc.Counter("liteflow_service_samples_total", "training samples processed by the slow path"),
+		converged:      sc.Counter("liteflow_service_converged_total", "batches that passed the correctness gate"),
+		fidelityChecks: sc.Counter("liteflow_service_fidelity_checks_total", "necessity evaluations performed"),
+		updates:        sc.Counter("liteflow_service_updates_total", "snapshots installed into the kernel"),
+		skipped:        sc.Counter("liteflow_service_skipped_by_necessity_total", "installs skipped because fidelity loss was below threshold"),
+		buildFailures:  sc.Counter("liteflow_snapshot_build_failures_total", "snapshot codegen failures; the install is skipped"),
+		lastFidelity:   sc.Gauge("liteflow_service_last_fidelity", "minimal fidelity loss from the latest necessity check"),
+		lastStability:  sc.Gauge("liteflow_service_last_stability", "stability metric from the latest batch"),
+	}
 }
 
 // Service is the LiteFlow userspace service: it receives batched training
@@ -104,14 +135,23 @@ type Service struct {
 	stabilityHist []float64
 	snapCount     int
 	installing    bool
-	stats         ServiceStats
+
+	sc  obs.Scope
+	met serviceMetrics
 }
 
 // NewService wires a service to the core and its netlink channel. The
 // channel's delivery callback is replaced; call StartBatching on the channel
-// (or Service.Start) to begin periodic delivery.
-func NewService(c *Core, ch *netlink.Channel, f Freezer, e Evaluator, a Adapter) *Service {
+// (or Service.Start) to begin periodic delivery. The service inherits the
+// core's obs.Scope unless an explicit one is passed.
+func NewService(c *Core, ch *netlink.Channel, f Freezer, e Evaluator, a Adapter, sc ...obs.Scope) *Service {
 	s := &Service{Core: c, Chan: ch, Freezer: f, Evaluator: e, Adapter: a, NamePrefix: "snapshot"}
+	if len(sc) > 0 {
+		s.sc = sc[0]
+	} else {
+		s.sc = c.Obs()
+	}
+	s.met = newServiceMetrics(s.sc)
 	ch.SetDeliver(s.HandleBatch)
 	return s
 }
@@ -123,7 +163,19 @@ func (s *Service) Start(interval netsim.Time) {
 }
 
 // Stats returns a snapshot of the service's counters.
-func (s *Service) Stats() ServiceStats { return s.stats }
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Batches:            s.met.batches.Value(),
+		Samples:            s.met.samples.Value(),
+		Converged:          s.met.converged.Value(),
+		FidelityChecks:     s.met.fidelityChecks.Value(),
+		Updates:            s.met.updates.Value(),
+		SkippedByNecessity: s.met.skipped.Value(),
+		BuildFailures:      s.met.buildFailures.Value(),
+		LastFidelity:       s.met.lastFidelity.Value(),
+		LastStability:      s.met.lastStability.Value(),
+	}
+}
 
 // HandleBatch processes one delivered batch: adapt, then evaluate
 // synchronization. It is exposed so hosts can wire it as the channel's
@@ -141,23 +193,23 @@ func (s *Service) HandleBatch(batch []netlink.Message) {
 	if len(samples) == 0 {
 		return
 	}
-	s.stats.Batches++
-	s.stats.Samples += int64(len(samples))
+	s.met.batches.Inc()
+	s.met.samples.Add(int64(len(samples)))
 
 	s.Adapter.Adapt(samples)
-	s.stats.LastStability = s.Evaluator.Stability()
+	s.met.lastStability.Set(s.Evaluator.Stability())
 
 	if !s.converged() {
 		return
 	}
-	s.stats.Converged++
+	s.met.converged.Inc()
 	s.evaluateNecessity(samples)
 }
 
 // converged applies the correctness gate: the stability metric must stay
 // within a relative tolerance band across the configured window.
 func (s *Service) converged() bool {
-	s.stabilityHist = append(s.stabilityHist, s.stats.LastStability)
+	s.stabilityHist = append(s.stabilityHist, s.met.lastStability.Value())
 	w := s.Core.Cfg.StabilityWindow
 	if len(s.stabilityHist) > w {
 		s.stabilityHist = s.stabilityHist[len(s.stabilityHist)-w:]
@@ -190,7 +242,7 @@ func (s *Service) evaluateNecessity(samples []Sample) {
 	if s.installing {
 		return // an install is already in flight
 	}
-	s.stats.FidelityChecks++
+	s.met.fidelityChecks.Inc()
 
 	payload := 0
 	for _, sm := range samples {
@@ -236,10 +288,11 @@ func (s *Service) evaluateNecessity(samples []Sample) {
 			s.Core.CPU.Charge(ksim.SoftIRQ, s.Core.Costs.CrossSpace)
 		}
 		s.Core.Eng.After(s.Core.Costs.CrossSpaceLatency, func() {
-			s.stats.LastFidelity = minLoss
+			s.met.lastFidelity.Set(minLoss)
 			threshold := s.Core.Cfg.Alpha * (s.Core.Cfg.OutMax - s.Core.Cfg.OutMin)
 			if minLoss <= threshold {
-				s.stats.SkippedByNecessity++
+				s.met.skipped.Inc()
+				s.sc.Event("service", "necessity_skip", s.Core.Eng.Now())
 				return
 			}
 			s.installSnapshot()
@@ -256,12 +309,16 @@ func (s *Service) installSnapshot() {
 	net := s.Freezer.Freeze()
 	prog := quant.Quantize(net, s.Core.Cfg.Quant)
 	s.snapCount++
-	name := fmt_name(s.NamePrefix, s.snapCount)
+	name := s.NamePrefix + "_" + strconv.Itoa(s.snapCount)
 	mod, err := codegen.Build(prog, name)
 	if err != nil {
-		// Generated modules are validated; a failure here is a programming
-		// error surfaced loudly in tests.
-		panic("core: snapshot generation failed: " + err.Error())
+		// A bad user network (or name) must not take down the service: skip
+		// this install and keep adapting. The failure is visible in the
+		// build-failure counter and the trace.
+		s.met.buildFailures.Inc()
+		s.sc.EventStr("snapshot", "build_failure", s.Core.Eng.Now(), "model", name)
+		s.installing = false
+		return
 	}
 	paramBytes := prog.NumParams() * 8
 	s.Chan.SendToKernel(paramBytes, func() {
@@ -280,27 +337,10 @@ func (s *Service) installSnapshot() {
 			s.installing = false
 			return
 		}
-		s.stats.Updates++
+		s.met.updates.Inc()
 		s.installing = false
 		if s.OnUpdate != nil {
 			s.OnUpdate(m)
 		}
 	})
-}
-
-func fmt_name(prefix string, n int) string {
-	// Small and allocation-cheap; names are identifiers (validated by
-	// codegen.Build).
-	const digits = "0123456789"
-	if n == 0 {
-		return prefix + "_0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = digits[n%10]
-		n /= 10
-	}
-	return prefix + "_" + string(buf[i:])
 }

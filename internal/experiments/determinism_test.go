@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
 // TestDeterminism asserts bit-exact reproducibility: the whole stack —
@@ -20,6 +24,36 @@ func TestDeterminism(t *testing.T) {
 		if a.String() != b.String() {
 			t.Errorf("%s is not deterministic for a fixed seed", id)
 		}
+	}
+}
+
+// TestTelemetryDeterminism asserts that telemetry itself is reproducible:
+// two same-seed adaptation runs must export byte-identical Chrome traces and
+// Prometheus text. Virtual-time stamps, sorted export orders and the
+// deterministic ring eviction make this possible.
+func TestTelemetryDeterminism(t *testing.T) {
+	export := func() (trace, prom []byte) {
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(1 << 14)
+		cfg := Config{Scale: 0.2, Seed: 7, Obs: obs.New(reg, tr)}
+		runAdaptation(cfg, adaptVariant{name: "lf", adapt: true},
+			20*netsim.Millisecond, 200*netsim.Millisecond, 0, 1)
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), reg.PrometheusText()
+	}
+	t1, p1 := export()
+	t2, p2 := export()
+	if len(t1) == 0 || len(p1) == 0 {
+		t.Fatal("empty telemetry export")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("Chrome traces differ between same-seed runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Errorf("Prometheus exports differ between same-seed runs:\n--- run1\n%s\n--- run2\n%s", p1, p2)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
 // Config scales experiments between CI-fast and paper-faithful runs.
@@ -20,6 +21,9 @@ type Config struct {
 	Scale float64
 	// Seed drives every random source.
 	Seed int64
+	// Obs, when non-zero, exports metrics and trace events from the
+	// simulated components (threaded through core, netlink, topo, ksim).
+	Obs obs.Scope
 }
 
 // DefaultConfig returns the full-scale configuration.

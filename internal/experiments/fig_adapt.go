@@ -157,9 +157,9 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 
 	eng := netsim.NewEngine()
 	opts := topo.TestbedOpts(1)
-	d := topo.NewDumbbell(eng, opts)
+	d := topo.NewDumbbell(eng, opts, cfg.Obs)
 	costs := ksim.DefaultCosts()
-	d.AttachCPUs(4, costs)
+	d.AttachCPUs(4, costs, cfg.Obs)
 	sender, receiver := d.Senders[0], d.Receivers[0]
 	cpu := sender.CPU
 
@@ -204,7 +204,7 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 	// noisy at 10-sample batches).
 	coreCfg.StabilityWindow = 2
 	coreCfg.StabilityTolerance = 1.0
-	lf := core.New(eng, cpu, costs, coreCfg)
+	lf := core.New(eng, cpu, costs, coreCfg, cfg.Obs)
 	lf.SetFlowCache(false)
 	mod, err := codegen.Build(quant.Quantize(userNet, coreCfg.Quant), "alpha0")
 	if err != nil {
@@ -220,7 +220,7 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 	user := newAlphaUser(userNet, 1e-2, cpu)
 	user.probeGain = probeGain
 	if v.adapt {
-		ch = netlink.New(eng, cpu, costs, nil)
+		ch = netlink.New(eng, cpu, costs, nil, cfg.Obs)
 		svc = core.NewService(lf, ch, user, user, user)
 		svc.Start(T)
 	}

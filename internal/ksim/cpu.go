@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
 // Category classifies CPU time the way mpstat buckets it.
@@ -59,18 +60,34 @@ type CPU struct {
 
 	rejected int64
 	started  netsim.Time
+
+	sc      obs.Scope
+	busyNS  [numCategories]*obs.Counter
+	rejects *obs.Counter
 }
 
 // DefaultMaxBacklog is the default bound on queued work, in wall time.
 const DefaultMaxBacklog = 5 * netsim.Millisecond
 
 // NewCPU returns a CPU with the given core count attached to eng. It panics
-// if cores is not positive.
-func NewCPU(eng *netsim.Engine, cores int) *CPU {
+// if cores is not positive. An optional obs.Scope exports per-category busy
+// time and charge trace events; omitted, telemetry is a no-op.
+func NewCPU(eng *netsim.Engine, cores int, sc ...obs.Scope) *CPU {
 	if cores <= 0 {
 		panic("ksim: cores must be positive")
 	}
-	return &CPU{eng: eng, cores: cores, MaxBacklog: DefaultMaxBacklog, started: eng.Now()}
+	c := &CPU{eng: eng, cores: cores, MaxBacklog: DefaultMaxBacklog, started: eng.Now()}
+	if len(sc) > 0 {
+		c.sc = sc[0]
+	}
+	for cat := Category(0); cat < numCategories; cat++ {
+		c.busyNS[cat] = c.sc.Counter("liteflow_cpu_busy_ns_total",
+			"raw CPU time consumed, by mpstat category",
+			obs.Label{Key: "category", Value: cat.String()})
+	}
+	c.rejects = c.sc.Counter("liteflow_cpu_rejected_total",
+		"work submissions refused by the backlog bound")
+	return c
 }
 
 // Cores returns the configured core count.
@@ -99,10 +116,14 @@ func (c *CPU) Submit(cat Category, work netsim.Time, done func()) bool {
 	}
 	if c.busyUntil-now > c.MaxBacklog {
 		c.rejected++
+		c.rejects.Inc()
+		c.sc.Event1("cpu", "reject", now, "ns", int64(work))
 		return false
 	}
 	c.acct[cat] += work
 	c.busyUntil += c.wallTime(work)
+	c.busyNS[cat].Add(int64(work))
+	c.sc.Event1("cpu", cat.String(), now, "ns", int64(work))
 	if done != nil {
 		at := c.busyUntil
 		c.eng.At(at, done)
@@ -120,6 +141,8 @@ func (c *CPU) Charge(cat Category, work netsim.Time) {
 	}
 	c.acct[cat] += work
 	c.busyUntil += c.wallTime(work)
+	c.busyNS[cat].Add(int64(work))
+	c.sc.Event1("cpu", cat.String(), now, "ns", int64(work))
 }
 
 // QueueDelay returns how long newly submitted work would wait before starting.

@@ -14,6 +14,7 @@ package netlink
 import (
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
 // MsgKind distinguishes the two record types the paper sends over netlink.
@@ -39,7 +40,8 @@ type Message struct {
 // 8 bytes per value.
 func (m Message) wireBytes() int { return 16 + 8*len(m.Data) }
 
-// Stats counts channel activity for experiment reporting.
+// Stats counts channel activity for experiment reporting. It is a snapshot
+// view over the channel's registry-backed counters.
 type Stats struct {
 	Flushes   int64
 	Messages  int64
@@ -47,6 +49,27 @@ type Stats struct {
 	Dropped   int64 // messages discarded by the bounded kernel buffer
 	Downcalls int64 // userspace→kernel deliveries
 	DownBytes int64
+}
+
+// chanMetrics holds the channel's registry-backed instruments.
+type chanMetrics struct {
+	flushes   *obs.Counter
+	messages  *obs.Counter
+	bytes     *obs.Counter
+	dropped   *obs.Counter
+	downcalls *obs.Counter
+	downBytes *obs.Counter
+}
+
+func newChanMetrics(sc obs.Scope) chanMetrics {
+	return chanMetrics{
+		flushes:   sc.Counter("liteflow_netlink_flushes_total", "kernel→userspace batch deliveries"),
+		messages:  sc.Counter("liteflow_netlink_messages_total", "messages delivered to userspace"),
+		bytes:     sc.Counter("liteflow_netlink_bytes_total", "wire bytes delivered to userspace"),
+		dropped:   sc.Counter("liteflow_netlink_dropped_total", "messages displaced by the bounded kernel buffer"),
+		downcalls: sc.Counter("liteflow_netlink_downcalls_total", "userspace→kernel transfers"),
+		downBytes: sc.Counter("liteflow_netlink_down_bytes_total", "userspace→kernel payload bytes"),
+	}
 }
 
 // Channel is a simulated netlink socket pair bound to one host CPU.
@@ -62,20 +85,38 @@ type Channel struct {
 
 	buf     []Message
 	deliver func(batch []Message)
-	stats   Stats
+
+	sc  obs.Scope
+	met chanMetrics
 
 	ticking  bool
 	interval netsim.Time
 }
 
 // New returns a channel delivering kernel batches to deliver. The callback
-// runs in virtual time after the cross-space latency has elapsed.
-func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, deliver func(batch []Message)) *Channel {
-	return &Channel{eng: eng, cpu: cpu, costs: costs, MaxBuffer: 4096, deliver: deliver}
+// runs in virtual time after the cross-space latency has elapsed. An
+// optional obs.Scope exports channel metrics and batch-delivery trace
+// events; omitted, telemetry is a no-op (counters still count).
+func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, deliver func(batch []Message), sc ...obs.Scope) *Channel {
+	c := &Channel{eng: eng, cpu: cpu, costs: costs, MaxBuffer: 4096, deliver: deliver}
+	if len(sc) > 0 {
+		c.sc = sc[0]
+	}
+	c.met = newChanMetrics(c.sc)
+	return c
 }
 
 // Stats returns a snapshot of the channel's counters.
-func (c *Channel) Stats() Stats { return c.stats }
+func (c *Channel) Stats() Stats {
+	return Stats{
+		Flushes:   c.met.flushes.Value(),
+		Messages:  c.met.messages.Value(),
+		Bytes:     c.met.bytes.Value(),
+		Dropped:   c.met.dropped.Value(),
+		Downcalls: c.met.downcalls.Value(),
+		DownBytes: c.met.downBytes.Value(),
+	}
+}
 
 // SetDeliver replaces the kernel-batch delivery callback. The userspace
 // service installs itself here after construction.
@@ -96,7 +137,8 @@ func (c *Channel) Push(m Message) {
 		// Drop oldest: adaptation prefers fresh signal.
 		copy(c.buf, c.buf[1:])
 		c.buf = c.buf[:len(c.buf)-1]
-		c.stats.Dropped++
+		c.met.dropped.Inc()
+		c.sc.Event("netlink", "drop", c.eng.Now())
 	}
 	c.buf = append(c.buf, m)
 }
@@ -115,9 +157,10 @@ func (c *Channel) Flush() {
 	for _, m := range batch {
 		bytes += m.wireBytes()
 	}
-	c.stats.Flushes++
-	c.stats.Messages += int64(len(batch))
-	c.stats.Bytes += int64(bytes)
+	c.met.flushes.Inc()
+	c.met.messages.Add(int64(len(batch)))
+	c.met.bytes.Add(int64(bytes))
+	c.sc.Event2("netlink", "flush", c.eng.Now(), "msgs", int64(len(batch)), "bytes", int64(bytes))
 
 	// One softirq-visible wakeup per flush; copy work scales with volume.
 	c.cpu.Charge(ksim.SoftIRQ, c.costs.CrossSpace)
@@ -162,8 +205,9 @@ func (c *Channel) tick() {
 // parameters, evaluation queries), invoking done in the kernel after costs
 // and latency. The transition is softirq work; the copy is kernel work.
 func (c *Channel) SendToKernel(payloadBytes int, done func()) {
-	c.stats.Downcalls++
-	c.stats.DownBytes += int64(payloadBytes)
+	c.met.downcalls.Inc()
+	c.met.downBytes.Add(int64(payloadBytes))
+	c.sc.Event1("netlink", "downcall", c.eng.Now(), "bytes", int64(payloadBytes))
 	c.cpu.Charge(ksim.SoftIRQ, c.costs.CrossSpace)
 	c.cpu.Charge(ksim.Kernel, c.costs.NetlinkPerMsg+netsim.Time(payloadBytes)*c.costs.NetlinkPerByte)
 	delay := c.costs.CrossSpaceLatency + c.cpu.QueueDelay()

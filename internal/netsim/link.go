@@ -1,5 +1,7 @@
 package netsim
 
+import "github.com/liteflow-sim/liteflow/internal/obs"
+
 // Handler consumes packets at the far end of a link. Hosts and switches
 // implement it.
 type Handler interface {
@@ -27,20 +29,33 @@ type Link struct {
 	// Cumulative counters for experiment accounting.
 	txPackets int64
 	txBytes   int64
+
+	sc    obs.Scope
+	drops *obs.Counter
+	marks *obs.Counter
 }
 
 // NewLink creates a link with transmission rate rateBps (bits/second),
 // one-way propagation delay, and buffering discipline q. It panics on a
 // non-positive rate: a zero-rate link would never drain and silently hang
-// the simulation.
-func NewLink(eng *Engine, to Handler, rateBps int64, delay Time, q Queue) *Link {
+// the simulation. An optional obs.Scope exports queue drop and ECN mark
+// telemetry; omitted, telemetry is a no-op.
+func NewLink(eng *Engine, to Handler, rateBps int64, delay Time, q Queue, sc ...obs.Scope) *Link {
 	if rateBps <= 0 {
 		panic("netsim: link rate must be positive")
 	}
 	if q == nil {
 		q = NewDropTail(1 << 30)
 	}
-	return &Link{eng: eng, to: to, rate: rateBps, delay: delay, queue: q}
+	l := &Link{eng: eng, to: to, rate: rateBps, delay: delay, queue: q}
+	if len(sc) > 0 {
+		l.sc = sc[0]
+	}
+	l.drops = l.sc.Counter("liteflow_net_queue_drops_total",
+		"packets rejected by a full egress queue")
+	l.marks = l.sc.Counter("liteflow_net_ecn_marks_total",
+		"packets CE-marked on enqueue")
+	return l
 }
 
 // Rate returns the link rate in bits per second.
@@ -81,8 +96,15 @@ func (l *Link) TxTime(size int) Time {
 // Send enqueues p for transmission, dropping it if the queue is full.
 func (l *Link) Send(p *Packet) {
 	p.EnqAt = l.eng.Now()
+	ceBefore := p.CE
 	if !l.queue.Enqueue(p) {
+		l.drops.Inc()
+		l.sc.Event2("net", "drop", p.EnqAt, "flow", int64(p.Flow), "bytes", int64(p.Size))
 		return // dropped
+	}
+	if p.CE && !ceBefore {
+		l.marks.Inc()
+		l.sc.Event1("net", "ecn_mark", p.EnqAt, "flow", int64(p.Flow))
 	}
 	if !l.busy {
 		l.startNext()

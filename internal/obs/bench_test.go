@@ -1,0 +1,56 @@
+package obs_test
+
+import (
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/obs"
+)
+
+// The QueryModel fast path touches one counter and (when tracing) one event
+// emit per query. These benchmarks guard the acceptance requirement that the
+// no-op scope adds no allocations to that path.
+
+func BenchmarkNopScopeFastPath(b *testing.B) {
+	sc := obs.Nop()
+	queries := sc.Counter("liteflow_core_queries_total", "")
+	hits := sc.Counter("liteflow_core_flow_cache_hits_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queries.Inc()
+		hits.Inc()
+		sc.Event1("flowcache", "hit", int64(i), "flow", 1)
+	}
+}
+
+func BenchmarkEnabledScopeFastPath(b *testing.B) {
+	sc := obs.New(obs.NewRegistry(), obs.NewTracer(1<<12))
+	queries := sc.Counter("liteflow_core_queries_total", "")
+	hits := sc.Counter("liteflow_core_flow_cache_hits_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queries.Inc()
+		hits.Inc()
+		sc.Event1("flowcache", "hit", int64(i), "flow", 1)
+	}
+}
+
+// TestNopScopeFastPathAllocs enforces the zero-allocation contract in the
+// regular test run, not just under -bench.
+func TestNopScopeFastPathAllocs(t *testing.T) {
+	sc := obs.Nop()
+	queries := sc.Counter("liteflow_core_queries_total", "")
+	h := sc.Histogram("liteflow_core_stall_ns", "", obs.DurationBuckets())
+	at := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		queries.Inc()
+		h.Observe(1e4)
+		sc.Event1("flowcache", "hit", at, "flow", 1)
+		sc.Span1("snapshot", "stall", at, 10, "flow", 1)
+		at++
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op scope fast path allocates %.1f times per op, want 0", allocs)
+	}
+}

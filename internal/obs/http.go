@@ -1,0 +1,38 @@
+package obs
+
+import "net/http"
+
+// NewHTTPHandler returns an http.Handler exposing the registry at /metrics
+// (Prometheus text format) and the tracer at /debug/trace (Chrome trace JSON)
+// and /debug/trace.jsonl (JSON lines). Either argument may be nil; the
+// corresponding endpoints then report 404. The handler is safe to serve from
+// a goroutine while the simulation writes: the registry and tracer
+// synchronize internally.
+func NewHTTPHandler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if reg == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if tr == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/trace.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		if tr == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteJSONL(w)
+	})
+	return mux
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/liteflow-sim/liteflow/internal/stats"
+)
+
+// Counter is a monotonically increasing integer metric. The nil counter and
+// the zero value are both usable (unregistered); all methods are
+// goroutine-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increases the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. It reuses stats.Summary
+// for mean/min/max/stddev, adding cumulative bucket counts and an exact sum
+// for the Prometheus exposition. All methods are goroutine-safe.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	counts  []int64   // len(bounds)+1, last is the +Inf bucket
+	sum     float64
+	summary stats.Summary
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.summary.Add(v)
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n int64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Summary returns a copy of the running summary (mean/std/min/max).
+func (h *Histogram) Summary() stats.Summary {
+	if h == nil {
+		return stats.Summary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.summary
+}
+
+// snapshot copies bucket state under the lock for export.
+func (h *Histogram) snapshot() (bounds []float64, counts []int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bounds, append([]int64(nil), h.counts...), h.sum
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at start and growing
+// by factor — the usual shape for duration histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets returns the default bounds for nanosecond duration
+// histograms: 1 µs … 10 s in decades.
+func DurationBuckets() []float64 { return ExpBuckets(1e3, 10, 8) }
+
+// metricKind discriminates registry families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one label combination of a family.
+type series struct {
+	labels  string // rendered `k="v",…` form, "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every label combination of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+}
+
+// Registry holds named metric families. It is goroutine-safe; the zero value
+// is not usable — construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels serializes ordered label pairs in Prometheus form.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup finds or creates the series for name+labels, enforcing kind
+// consistency. A kind mismatch is a programming error and panics. The caller
+// must hold r.mu.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for name+labels, registering it on first
+// use. The bounds of the first registration win; later calls with different
+// bounds receive the existing instrument.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = newHistogram(append([]float64(nil), bounds...))
+	}
+	return s.hist
+}
+
+// sortedFamilies returns families ordered by name, each with its series
+// ordered by label key — the deterministic export order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedSeries returns the family's series in deterministic order.
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}

@@ -1,0 +1,160 @@
+// Package obs is the unified telemetry layer of the simulator: a metrics
+// registry (counters, gauges, fixed-bucket histograms keyed by name plus
+// ordered label pairs) whose snapshots serialize to Prometheus text
+// exposition format, and a bounded event tracer stamped with virtual
+// simulation time that exports Chrome trace-event JSON (loadable in
+// chrome://tracing or Perfetto) and JSON lines.
+//
+// The package is stdlib-only and deliberately does not import netsim:
+// timestamps are plain int64 nanoseconds, which is the identical type to
+// netsim.Time (a type alias). Because the simulation engine is deterministic
+// and every timestamp is virtual, two runs with the same seed produce
+// byte-identical exports — traces are diffable regression artifacts, not
+// just debugging aids.
+//
+// Instrumented components receive a Scope, a cheap value handle bundling a
+// *Registry and a *Tracer plus base labels. The zero Scope (or Nop()) is a
+// valid no-op: instruments resolved through it still count — so stats
+// accessors keep returning correct values — but register nowhere and trace
+// nothing, and the fast path performs no allocations (guarded by a benchmark
+// in this package).
+//
+// Unlike the rest of the simulator, obs is goroutine-safe: the HTTP exporter
+// reads snapshots while the simulation writes.
+package obs
+
+// Label is one name/value pair qualifying a metric or a scope.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Scope is the instrumentation handle threaded through component
+// constructors. It is a small value; copy it freely.
+type Scope struct {
+	reg    *Registry
+	tracer *Tracer
+	labels []Label
+}
+
+// Nop returns the no-op scope. Identical to the zero value.
+func Nop() Scope { return Scope{} }
+
+// New returns a scope exporting metrics to reg and events to tr. Either may
+// be nil to disable that half.
+func New(reg *Registry, tr *Tracer) Scope { return Scope{reg: reg, tracer: tr} }
+
+// With returns a scope whose instruments carry the additional base labels
+// (prepended before per-instrument labels, in order).
+func (s Scope) With(labels ...Label) Scope {
+	merged := make([]Label, 0, len(s.labels)+len(labels))
+	merged = append(merged, s.labels...)
+	merged = append(merged, labels...)
+	return Scope{reg: s.reg, tracer: s.tracer, labels: merged}
+}
+
+// Enabled reports whether the scope exports anywhere.
+func (s Scope) Enabled() bool { return s.reg != nil || s.tracer != nil }
+
+// Tracing reports whether the scope records trace events.
+func (s Scope) Tracing() bool { return s.tracer != nil }
+
+// Registry returns the backing registry (nil for a no-op scope).
+func (s Scope) Registry() *Registry { return s.reg }
+
+// Tracer returns the backing tracer (nil when tracing is off).
+func (s Scope) Tracer() *Tracer { return s.tracer }
+
+// merged combines the scope's base labels with instrument labels.
+func (s Scope) merged(labels []Label) []Label {
+	if len(s.labels) == 0 {
+		return labels
+	}
+	out := make([]Label, 0, len(s.labels)+len(labels))
+	out = append(out, s.labels...)
+	out = append(out, labels...)
+	return out
+}
+
+// Counter resolves (registering on first use) a counter. On a no-op scope it
+// returns a live but unregistered counter, so callers can still read back
+// exact counts through their own accessors.
+func (s Scope) Counter(name, help string, labels ...Label) *Counter {
+	if s.reg == nil {
+		return &Counter{}
+	}
+	return s.reg.Counter(name, help, s.merged(labels)...)
+}
+
+// Gauge resolves (registering on first use) a gauge.
+func (s Scope) Gauge(name, help string, labels ...Label) *Gauge {
+	if s.reg == nil {
+		return &Gauge{}
+	}
+	return s.reg.Gauge(name, help, s.merged(labels)...)
+}
+
+// Histogram resolves (registering on first use) a fixed-bucket histogram.
+// bounds are ascending upper bounds; a final +Inf bucket is implicit.
+func (s Scope) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if s.reg == nil {
+		return newHistogram(bounds)
+	}
+	return s.reg.Histogram(name, help, bounds, s.merged(labels)...)
+}
+
+// The fixed-arity event helpers below exist so hot paths can emit without
+// constructing argument slices: on a no-op scope they return immediately and
+// allocate nothing.
+
+// Event records an instant event at virtual time at (nanoseconds).
+func (s Scope) Event(cat, name string, at int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{At: at, Cat: cat, Name: name})
+}
+
+// Event1 records an instant event with one integer argument.
+func (s Scope) Event1(cat, name string, at int64, k string, v int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 1,
+		Args: [2]Arg{{Key: k, Val: v}}})
+}
+
+// Event2 records an instant event with two integer arguments.
+func (s Scope) Event2(cat, name string, at int64, k1 string, v1 int64, k2 string, v2 int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 2,
+		Args: [2]Arg{{Key: k1, Val: v1}, {Key: k2, Val: v2}}})
+}
+
+// EventStr records an instant event with one string argument.
+func (s Scope) EventStr(cat, name string, at int64, k, v string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 1,
+		Args: [2]Arg{{Key: k, Str: v}}})
+}
+
+// Span records a complete event covering [at, at+dur).
+func (s Scope) Span(cat, name string, at, dur int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{At: at, Dur: dur, Cat: cat, Name: name})
+}
+
+// Span1 records a complete event with one integer argument.
+func (s Scope) Span1(cat, name string, at, dur int64, k string, v int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{At: at, Dur: dur, Cat: cat, Name: name, NArgs: 1,
+		Args: [2]Arg{{Key: k, Val: v}}})
+}

@@ -1,0 +1,277 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := obs.New(reg, nil)
+
+	c := sc.Counter("liteflow_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels resolves to the same instrument.
+	if sc.Counter("liteflow_test_ops_total", "ops") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Different labels are distinct series.
+	c2 := sc.Counter("liteflow_test_ops_total", "ops", obs.Label{Key: "k", Value: "v"})
+	if c2 == c {
+		t.Fatal("labeled series aliases the unlabeled one")
+	}
+
+	g := sc.Gauge("liteflow_test_level", "level")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := obs.New(reg, nil)
+	h := sc.Histogram("liteflow_test_dur_ns", "durations", []float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5556 {
+		t.Fatalf("sum = %g, want 5556", h.Sum())
+	}
+	s := h.Summary()
+	if s.Min() != 1 || s.Max() != 5000 || s.N() != 5 {
+		t.Fatalf("summary = %v", s)
+	}
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`liteflow_test_dur_ns_bucket{le="10"} 2`,
+		`liteflow_test_dur_ns_bucket{le="100"} 3`,
+		`liteflow_test_dur_ns_bucket{le="1000"} 4`,
+		`liteflow_test_dur_ns_bucket{le="+Inf"} 5`,
+		`liteflow_test_dur_ns_sum 5556`,
+		`liteflow_test_dur_ns_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := obs.New(reg, nil).With(obs.Label{Key: "host", Value: "0"})
+	sc.Counter("liteflow_test_b_total", "bees", obs.Label{Key: "kind", Value: "x"}).Add(7)
+	sc.Gauge("liteflow_test_a_level", "level").Set(3)
+
+	out := string(reg.PrometheusText())
+	// Families sorted by name; scope labels precede instrument labels.
+	ai := strings.Index(out, "liteflow_test_a_level")
+	bi := strings.Index(out, "liteflow_test_b_total")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("families out of order:\n%s", out)
+	}
+	if !strings.Contains(out, `liteflow_test_b_total{host="0",kind="x"} 7`) {
+		t.Errorf("label ordering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE liteflow_test_b_total counter") ||
+		!strings.Contains(out, "# TYPE liteflow_test_a_level gauge") {
+		t.Errorf("missing TYPE lines:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP liteflow_test_b_total bees") {
+		t.Errorf("missing HELP line:\n%s", out)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("liteflow_test_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("liteflow_test_x", "")
+}
+
+func TestNopScopeStillCounts(t *testing.T) {
+	sc := obs.Nop()
+	if sc.Enabled() || sc.Tracing() {
+		t.Fatal("nop scope claims to be enabled")
+	}
+	c := sc.Counter("x", "")
+	c.Add(3)
+	if c.Value() != 3 {
+		t.Fatalf("nop-scope counter lost counts: %d", c.Value())
+	}
+	h := sc.Histogram("y", "", obs.DurationBuckets())
+	h.Observe(42)
+	if h.Count() != 1 {
+		t.Fatal("nop-scope histogram lost observations")
+	}
+	// Nil instruments (fields never wired) must be safe no-ops.
+	var nc *obs.Counter
+	nc.Inc()
+	var ng *obs.Gauge
+	ng.Set(1)
+	var nh *obs.Histogram
+	nh.Observe(1)
+	sc.Event("a", "b", 0)
+	sc.Event1("a", "b", 0, "k", 1)
+	sc.Span("a", "b", 0, 10)
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := obs.NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(obs.Event{At: int64(i), Cat: "c", Name: "n"})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", tr.Evicted())
+	}
+	ev := tr.Events()
+	if ev[0].At != 2 || ev[3].At != 5 {
+		t.Fatalf("ring order wrong: %+v", ev)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Evicted() != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := obs.NewTracer(16)
+	sc := obs.New(nil, tr)
+	sc.Event("flowcache", "hit", 1500)
+	sc.Event2("netlink", "flush", 2000, "msgs", 3, "bytes", 120)
+	sc.EventStr("snapshot", "install", 2500, "model", `sn"ap`)
+	sc.Span1("snapshot", "stall", 3000, 250, "flow", 7)
+
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("invalid chrome trace JSON:\n%s", b.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ts"] != 1.5 {
+		t.Errorf("ts = %v, want 1.5 µs", doc.TraceEvents[0]["ts"])
+	}
+	if doc.TraceEvents[3]["ph"] != "X" || doc.TraceEvents[3]["dur"] != 0.25 {
+		t.Errorf("span event wrong: %v", doc.TraceEvents[3])
+	}
+
+	var jb bytes.Buffer
+	if err := tr.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSONL lines, want 4", len(lines))
+	}
+	for _, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Errorf("invalid JSONL line: %s", l)
+		}
+	}
+}
+
+func TestExportDeterminism(t *testing.T) {
+	build := func() ([]byte, []byte) {
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(64)
+		sc := obs.New(reg, tr)
+		for i := 0; i < 10; i++ {
+			sc.Counter("liteflow_test_n_total", "").Inc()
+			sc.Histogram("liteflow_test_h", "", obs.DurationBuckets()).Observe(float64(i) * 1e4)
+			sc.Event1("c", "e", int64(i)*100, "i", int64(i))
+		}
+		var tb bytes.Buffer
+		tr.WriteChromeTrace(&tb)
+		return reg.PrometheusText(), tb.Bytes()
+	}
+	p1, t1 := build()
+	p2, t2 := build()
+	if !bytes.Equal(p1, p2) {
+		t.Error("prometheus export is not byte-identical")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("chrome trace export is not byte-identical")
+	}
+}
+
+// TestConcurrentReadersAndWriters exercises the goroutine-safety contract
+// under -race: the HTTP exporter reads snapshots while writers hammer the
+// instruments and the tracer.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1024)
+	sc := obs.New(reg, tr)
+	h := obs.NewHTTPHandler(reg, tr)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sc.Counter("liteflow_test_w_total", "")
+			g := sc.Gauge("liteflow_test_w_level", "")
+			hi := sc.Histogram("liteflow_test_w_ns", "", obs.DurationBuckets())
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				hi.Observe(float64(i))
+				sc.Event1("w", "tick", int64(i), "w", int64(w))
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		for _, path := range []string{"/metrics", "/debug/trace", "/debug/trace.jsonl"} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			if rec.Code != 200 {
+				t.Fatalf("%s returned %d", path, rec.Code)
+			}
+			io.Copy(io.Discard, rec.Body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

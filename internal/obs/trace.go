@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Arg is one key/value argument attached to a trace event. When Str is
+// non-empty the value is a string, otherwise Val.
+type Arg struct {
+	Key string
+	Val int64
+	Str string
+}
+
+// Event is one structured trace record. At is virtual simulation time in
+// nanoseconds; Dur > 0 marks a complete (span) event covering [At, At+Dur).
+// Events carry at most two arguments so emission never allocates.
+type Event struct {
+	At    int64
+	Dur   int64
+	Cat   string
+	Name  string
+	Args  [2]Arg
+	NArgs int
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 1 << 16
+
+// Tracer is a bounded ring buffer of events. When full, the oldest event is
+// evicted — recent history wins, and because eviction is deterministic the
+// exported bytes stay reproducible. A nil Tracer is a valid no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	n       int
+	evicted int64
+}
+
+// NewTracer returns a tracer retaining up to capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Emit records one event, evicting the oldest when the ring is full.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = e
+		t.n++
+	} else {
+		t.buf[t.start] = e
+		t.start = (t.start + 1) % len(t.buf)
+		t.evicted++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Evicted returns how many events were displaced by ring overflow.
+func (t *Tracer) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Events returns a copy of the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Reset discards all retained events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.start, t.n, t.evicted = 0, 0, 0
+	t.mu.Unlock()
+}
+
+// WriteChromeTrace serializes the retained events as Chrome trace-event JSON
+// (the "JSON object format"), loadable in chrome://tracing and Perfetto.
+// Instant events use phase "i" with global scope; spans use phase "X".
+// Timestamps are virtual microseconds with nanosecond fractions, so the
+// output is byte-identical across same-seed runs.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	for i := range events {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		writeChromeEvent(bw, &events[i])
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+func writeChromeEvent(bw *bufio.Writer, e *Event) {
+	bw.WriteString(`{"name":`)
+	bw.Write(strconv.AppendQuote(nil, e.Name))
+	bw.WriteString(`,"cat":`)
+	bw.Write(strconv.AppendQuote(nil, e.Cat))
+	if e.Dur > 0 {
+		bw.WriteString(`,"ph":"X","ts":`)
+		writeMicros(bw, e.At)
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, e.Dur)
+	} else {
+		bw.WriteString(`,"ph":"i","s":"g","ts":`)
+		writeMicros(bw, e.At)
+	}
+	bw.WriteString(`,"pid":0,"tid":0`)
+	if e.NArgs > 0 {
+		bw.WriteString(`,"args":{`)
+		writeArgs(bw, e)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// WriteJSONL serializes the retained events as JSON lines, one event per
+// line with nanosecond virtual timestamps — the grep/jq-friendly form.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	events := t.Events()
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		e := &events[i]
+		bw.WriteString(`{"at":`)
+		bw.WriteString(strconv.FormatInt(e.At, 10))
+		if e.Dur > 0 {
+			bw.WriteString(`,"dur":`)
+			bw.WriteString(strconv.FormatInt(e.Dur, 10))
+		}
+		bw.WriteString(`,"cat":`)
+		bw.Write(strconv.AppendQuote(nil, e.Cat))
+		bw.WriteString(`,"name":`)
+		bw.Write(strconv.AppendQuote(nil, e.Name))
+		if e.NArgs > 0 {
+			bw.WriteString(`,"args":{`)
+			writeArgs(bw, e)
+			bw.WriteByte('}')
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+// writeArgs renders the event's arguments as JSON object members.
+func writeArgs(bw *bufio.Writer, e *Event) {
+	for i := 0; i < e.NArgs && i < len(e.Args); i++ {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		a := &e.Args[i]
+		bw.Write(strconv.AppendQuote(nil, a.Key))
+		bw.WriteByte(':')
+		if a.Str != "" {
+			bw.Write(strconv.AppendQuote(nil, a.Str))
+		} else {
+			bw.WriteString(strconv.FormatInt(a.Val, 10))
+		}
+	}
+}
+
+// writeMicros renders a nanosecond quantity as microseconds with three
+// decimals (Chrome trace timestamps are microseconds).
+func writeMicros(bw *bufio.Writer, ns int64) {
+	neg := ns < 0
+	if neg {
+		bw.WriteByte('-')
+		ns = -ns
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	bw.WriteByte('.')
+	frac := ns % 1000
+	switch {
+	case frac < 10:
+		bw.WriteString("00")
+	case frac < 100:
+		bw.WriteByte('0')
+	}
+	bw.WriteString(strconv.FormatInt(frac, 10))
+}

@@ -5,8 +5,11 @@
 package topo
 
 import (
+	"strconv"
+
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/tcp"
 )
 
@@ -140,10 +143,16 @@ func (t *SpineLeaf) PathVia(src, dst, spine int) []int {
 }
 
 // AttachCPUs gives every host a CPU with the given core count and cost
-// table.
-func (t *SpineLeaf) AttachCPUs(cores int, costs ksim.Costs) {
-	for _, h := range t.Hosts {
-		h.AttachCPU(ksim.NewCPU(t.Eng, cores), costs)
+// table. An optional obs.Scope labels each host's CPU telemetry with
+// host="<id>".
+func (t *SpineLeaf) AttachCPUs(cores int, costs ksim.Costs, sc ...obs.Scope) {
+	var scope obs.Scope
+	if len(sc) > 0 {
+		scope = sc[0]
+	}
+	for i, h := range t.Hosts {
+		hsc := scope.With(obs.Label{Key: "host", Value: strconv.Itoa(i)})
+		h.AttachCPU(ksim.NewCPU(t.Eng, cores, hsc), costs)
 	}
 }
 
@@ -185,16 +194,24 @@ func TestbedOpts(flows int) DumbbellOpts {
 }
 
 // NewDumbbell builds the dumbbell. Sender host IDs are 0..F−1, receivers
-// F..2F−1, the UDP host is 2F.
-func NewDumbbell(eng *netsim.Engine, opts DumbbellOpts) *Dumbbell {
+// F..2F−1, the UDP host is 2F. An optional obs.Scope exports drop/ECN
+// telemetry for the two shared links, labelled link="bottleneck" and
+// link="back".
+func NewDumbbell(eng *netsim.Engine, opts DumbbellOpts, sc ...obs.Scope) *Dumbbell {
+	var scope obs.Scope
+	if len(sc) > 0 {
+		scope = sc[0]
+	}
 	d := &Dumbbell{Eng: eng}
 	d.Left = netsim.NewSwitch(LeafIDBase)
 	d.Right = netsim.NewSwitch(LeafIDBase + 1)
 
 	d.Bottleneck = netsim.NewLink(eng, d.Right, opts.BottleneckBps, opts.BottleneckDelay,
-		netsim.NewDropTail(opts.BufferBytes))
+		netsim.NewDropTail(opts.BufferBytes),
+		scope.With(obs.Label{Key: "link", Value: "bottleneck"}))
 	back := netsim.NewLink(eng, d.Left, opts.BottleneckBps, opts.BottleneckDelay,
-		netsim.NewDropTail(1<<22))
+		netsim.NewDropTail(1<<22),
+		scope.With(obs.Label{Key: "link", Value: "back"}))
 	d.Left.AddPort(LeafIDBase+1, d.Bottleneck)
 	d.Right.AddPort(LeafIDBase, back)
 
@@ -225,14 +242,22 @@ func NewDumbbell(eng *netsim.Engine, opts DumbbellOpts) *Dumbbell {
 }
 
 // AttachCPUs gives every dumbbell host a CPU (the paper's 4-core servers).
-func (d *Dumbbell) AttachCPUs(cores int, costs ksim.Costs) {
+// An optional obs.Scope labels each host's CPU telemetry with host="<id>".
+func (d *Dumbbell) AttachCPUs(cores int, costs ksim.Costs, sc ...obs.Scope) {
+	var scope obs.Scope
+	if len(sc) > 0 {
+		scope = sc[0]
+	}
+	hostScope := func(h *tcp.Host) obs.Scope {
+		return scope.With(obs.Label{Key: "host", Value: strconv.Itoa(h.ID)})
+	}
 	for _, h := range d.Senders {
-		h.AttachCPU(ksim.NewCPU(d.Eng, cores), costs)
+		h.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(h)), costs)
 	}
 	for _, h := range d.Receivers {
-		h.AttachCPU(ksim.NewCPU(d.Eng, cores), costs)
+		h.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(h)), costs)
 	}
-	d.UDPHost.AttachCPU(ksim.NewCPU(d.Eng, cores), costs)
+	d.UDPHost.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(d.UDPHost)), costs)
 }
 
 // QueueBytes returns the bottleneck's current backlog — the Figure 1b

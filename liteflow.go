@@ -22,12 +22,15 @@
 package liteflow
 
 import (
+	"net/http"
+
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/core"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netlink"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 )
 
@@ -95,8 +98,9 @@ const (
 // NewEngine returns a fresh discrete-event engine.
 func NewEngine() *Engine { return netsim.NewEngine() }
 
-// NewCPU returns a CPU with the given core count attached to eng.
-func NewCPU(eng *Engine, cores int) *CPU { return ksim.NewCPU(eng, cores) }
+// NewCPU returns a CPU with the given core count attached to eng. An
+// optional Scope exports per-category busy-time telemetry.
+func NewCPU(eng *Engine, cores int, sc ...Scope) *CPU { return ksim.NewCPU(eng, cores, sc...) }
 
 // DefaultCosts returns the calibrated CPU cost table (see internal/ksim).
 func DefaultCosts() Costs { return ksim.DefaultCosts() }
@@ -110,9 +114,9 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 func DefaultQuantConfig() QuantConfig { return quant.DefaultConfig() }
 
 // New creates a LiteFlow core module on eng. cpu may be nil to disable CPU
-// cost accounting.
-func New(eng *Engine, cpu *CPU, costs Costs, cfg Config) *Core {
-	return core.New(eng, cpu, costs, cfg)
+// cost accounting. An optional Scope exports fast-path telemetry.
+func New(eng *Engine, cpu *CPU, costs Costs, cfg Config, sc ...Scope) *Core {
+	return core.New(eng, cpu, costs, cfg, sc...)
 }
 
 // NewNetwork builds a float userspace network with the given layer sizes and
@@ -149,9 +153,10 @@ func GenerateSource(p *Program, name string) (string, error) {
 }
 
 // NewChannel creates a batched netlink channel on the given host CPU. Pass
-// the service's HandleBatch (or use NewService, which wires itself).
-func NewChannel(eng *Engine, cpu *CPU, costs Costs, deliver func([]netlink.Message)) *Channel {
-	return netlink.New(eng, cpu, costs, deliver)
+// the service's HandleBatch (or use NewService, which wires itself). An
+// optional Scope exports batch-delivery telemetry.
+func NewChannel(eng *Engine, cpu *CPU, costs Costs, deliver func([]netlink.Message), sc ...Scope) *Channel {
+	return netlink.New(eng, cpu, costs, deliver, sc...)
 }
 
 // Message is one netlink record; EncodeSample/DecodeSample convert samples.
@@ -163,13 +168,47 @@ func EncodeSample(s Sample) Message { return core.EncodeSample(s) }
 // DecodeSample unpacks a batched record; ok is false for malformed payloads.
 func DecodeSample(m Message) (Sample, bool) { return core.DecodeSample(m) }
 
-// NewService wires the userspace slow path to a core and its channel.
-func NewService(c *Core, ch *Channel, f Freezer, e Evaluator, a Adapter) *Service {
-	return core.NewService(c, ch, f, e, a)
+// NewService wires the userspace slow path to a core and its channel. The
+// service inherits the core's Scope unless an explicit one is passed.
+func NewService(c *Core, ch *Channel, f Freezer, e Evaluator, a Adapter, sc ...Scope) *Service {
+	return core.NewService(c, ch, f, e, a, sc...)
 }
 
 // NewFlowBackend returns a fast-path inference backend for one flow,
 // compatible with the cc package's Backend interface.
 func NewFlowBackend(c *Core, flow FlowID) *FlowBackend {
 	return core.NewFlowBackend(c, flow)
+}
+
+// Observability (internal/obs): a metrics registry with Prometheus text
+// export and a virtual-time event tracer with Chrome trace-event export. A
+// zero-value Scope is a no-op: instruments still count, nothing is exported.
+type (
+	// Scope carries the registry/tracer pair (plus labels) through
+	// constructors; the zero value disables export.
+	Scope = obs.Scope
+	// MetricsRegistry collects named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// Tracer records structured simulation events in a bounded ring.
+	Tracer = obs.Tracer
+	// MetricLabel is one key=value metric dimension.
+	MetricLabel = obs.Label
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns an event tracer retaining the last capacity events
+// (<= 0 selects the default capacity).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewScope binds a registry and tracer (either may be nil) into a Scope to
+// pass to New, NewCPU, NewChannel, NewService and the topology builders.
+func NewScope(reg *MetricsRegistry, tr *Tracer) Scope { return obs.New(reg, tr) }
+
+// NewTelemetryHandler serves /metrics (Prometheus text format) and
+// /debug/trace (Chrome trace-event JSON) for the given registry and tracer;
+// either may be nil.
+func NewTelemetryHandler(reg *MetricsRegistry, tr *Tracer) http.Handler {
+	return obs.NewHTTPHandler(reg, tr)
 }
