@@ -27,11 +27,13 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/cc"
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/fault"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netlink"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/nn"
 	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 	"github.com/liteflow-sim/liteflow/internal/tcp"
 	"github.com/liteflow-sim/liteflow/internal/topo"
@@ -48,6 +50,9 @@ type options struct {
 	adapt     bool
 	batchT    time.Duration
 	pretrain  int
+
+	faultProfile string
+	faultSeed    int64
 
 	trace       string
 	traceJSONL  string
@@ -67,6 +72,8 @@ func main() {
 	flag.BoolVar(&o.adapt, "adapt", false, "lf-* schemes: wire the userspace slow path (netlink batching + service)")
 	flag.DurationVar(&o.batchT, "batch-interval", 100*time.Millisecond, "slow-path batch delivery interval T (with -adapt)")
 	flag.IntVar(&o.pretrain, "pretrain", 400, "policy pretraining iterations for NN schemes")
+	flag.StringVar(&o.faultProfile, "fault-profile", "none", "fault injection profile: none | netlink | slowpath | chaos")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
 	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.traceJSONL, "trace-jsonl", "", "write trace events as JSON lines to this file")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write Prometheus text metrics to this file")
@@ -122,16 +129,34 @@ func run(o options, stdout, stderr io.Writer) error {
 		sc = obs.New(reg, tracer)
 	}
 
+	prof, ok := fault.ByName(o.faultProfile)
+	if !ok {
+		return fmt.Errorf("unknown fault profile %q (want none|netlink|slowpath|chaos)", o.faultProfile)
+	}
+	var inj *fault.Injector
+	if prof.Active() {
+		inj = fault.New(prof, o.faultSeed, sc)
+	}
+
 	eng := netsim.NewEngine()
 	opts := topo.TestbedOpts(1)
 	if !o.congested {
 		opts.BottleneckBps = 40e9
 		opts.BufferBytes = 4 << 20
 	}
-	d := topo.NewDumbbell(eng, opts, sc)
+	d := topo.BuildDumbbell(eng, opts, opt.WithScope(sc))
 	costs := ksim.DefaultCosts()
-	d.AttachCPUs(4, costs, sc)
+	d.ProvisionCPUs(4, costs, opt.WithScope(sc))
 	sender, receiver := d.Senders[0], d.Receivers[0]
+
+	if inj != nil {
+		// CPU overload spikes land on the sender host, where the fast path
+		// and the slow path both live.
+		inj.StartCPUSpikes(eng, func(work int64) {
+			sender.CPU.Charge(ksim.SoftIRQ, netsim.Time(work))
+		})
+		defer inj.StopCPUSpikes()
+	}
 
 	if o.congested {
 		u := tcp.NewUDPSource(d.UDPHost, 9999, receiver.ID, 100e6)
@@ -160,7 +185,16 @@ func run(o options, stdout, stderr io.Writer) error {
 		if isLF {
 			cfg := core.DefaultConfig()
 			cfg.FlowCacheTimeout = 0
-			lf = core.New(eng, sender.CPU, costs, cfg, sc)
+			coreOpts := []opt.Option{opt.WithScope(sc)}
+			if inj != nil && o.adapt {
+				// With faults on, arm the watchdog so a stalled slow path
+				// degrades gracefully instead of serving a half-built
+				// standby forever. Window = 3 batch intervals.
+				coreOpts = append(coreOpts, opt.WithWatchdog(opt.Watchdog{
+					Window: 3 * o.batchT.Nanoseconds(),
+				}))
+			}
+			lf = core.NewCore(eng, sender.CPU, costs, cfg, coreOpts...)
 			mod, err := codegen.Build(quant.Quantize(net, cfg.Quant), "model")
 			if err != nil {
 				return err
@@ -169,8 +203,10 @@ func run(o options, stdout, stderr io.Writer) error {
 				return err
 			}
 			if o.adapt {
-				ch = netlink.New(eng, sender.CPU, costs, nil, sc)
-				svc = core.NewService(lf, ch, staticUser{net}, staticUser{net}, staticUser{net})
+				ch = netlink.NewChannel(eng, sender.CPU, costs, nil,
+					opt.WithScope(sc), opt.WithFaults(inj))
+				svc = core.NewSlowPath(lf, ch, staticUser{net}, staticUser{net}, staticUser{net},
+					opt.WithFaults(inj))
 				svc.Start(netsim.Time(o.batchT.Nanoseconds()))
 			}
 		}
@@ -239,6 +275,7 @@ func run(o options, stdout, stderr io.Writer) error {
 	}
 	if lf != nil {
 		lf.StopSweeper()
+		lf.StopWatchdog()
 	}
 
 	secs := o.duration.Seconds()
@@ -260,6 +297,15 @@ func run(o options, stdout, stderr io.Writer) error {
 		st := svc.Stats()
 		fmt.Fprintf(stdout, "liteflow service: %d batches, %d samples, %d fidelity checks, %d skipped, %d updates\n",
 			st.Batches, st.Samples, st.FidelityChecks, st.SkippedByNecessity, st.Updates)
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		fmt.Fprintf(stdout, "faults injected: %d total (%d drops, %d corrupt, %d delays, %d reorders, %d build fails, %d outages, %d cpu spikes)\n",
+			fs.Total(), fs.Drops, fs.Corrupts, fs.Delays, fs.Reorders, fs.BuildFails+fs.QuantFails, fs.Outages, fs.Spikes)
+		if lf != nil {
+			st := lf.Stats()
+			fmt.Fprintf(stdout, "degradation: %d degraded, %d recovered\n", st.Degraded, st.Recovered)
+		}
 	}
 
 	if err := writeExports(o, reg, tracer); err != nil {

@@ -26,9 +26,9 @@ import (
 
 func runScheme(name string, policy *liteflow.Network, mkCtrl func(eng *netsim.Engine, lf *liteflow.Core, cpu *ksim.CPU) tcp.CongestionControl) float64 {
 	eng := netsim.NewEngine()
-	d := topo.NewDumbbell(eng, topo.TestbedOpts(1))
+	d := topo.BuildDumbbell(eng, topo.TestbedOpts(1))
 	costs := liteflow.DefaultCosts()
-	d.AttachCPUs(4, costs)
+	d.ProvisionCPUs(4, costs)
 	sender, receiver := d.Senders[0], d.Receivers[0]
 
 	// Bursty background UDP keeps the bottleneck congested and moving
@@ -42,7 +42,7 @@ func runScheme(name string, policy *liteflow.Network, mkCtrl func(eng *netsim.En
 	if policy != nil {
 		cfg := liteflow.DefaultConfig()
 		cfg.FlowCacheTimeout = 0
-		lf = liteflow.New(eng, sender.CPU, costs, cfg)
+		lf = liteflow.NewCore(eng, sender.CPU, costs, cfg)
 		snap, err := liteflow.BuildSnapshot(policy, liteflow.DefaultQuantConfig(), "aurora")
 		if err != nil {
 			log.Fatal(err)

@@ -42,7 +42,7 @@ func run(name string, useMLP bool) {
 	eng := netsim.NewEngine()
 	opts := topo.DefaultSpineLeafOpts(4) // 8 hosts
 	opts.FabricLinkBps = 10e9            // oversubscribable fabric: one host can congest a spine
-	sl := topo.NewSpineLeaf(eng, opts)
+	sl := topo.BuildSpineLeaf(eng, opts)
 	paths := len(sl.Spines)
 
 	// The learned selector, trained on the congestion oracle then

@@ -37,7 +37,7 @@ func (u *user) Adapt(batch []liteflow.Sample) {
 func main() {
 	// A simulated world: one virtual clock, one 4-core host CPU.
 	eng := liteflow.NewEngine()
-	cpu := liteflow.NewCPU(eng, 4)
+	cpu := liteflow.NewHostCPU(eng, 4)
 	costs := liteflow.DefaultCosts()
 
 	// 1. A small userspace model (4 inputs → 1 output).
@@ -55,7 +55,7 @@ func main() {
 	// 3. The kernel core module.
 	cfg := liteflow.DefaultConfig()
 	cfg.OutMin, cfg.OutMax = 0, 1 // sigmoid output range
-	lf := liteflow.New(eng, cpu, costs, cfg)
+	lf := liteflow.NewCore(eng, cpu, costs, cfg)
 	if _, err := lf.RegisterModel(snap); err != nil {
 		log.Fatal(err)
 	}
@@ -73,8 +73,8 @@ func main() {
 	u := &user{net: net.Clone(), loss: 1}
 	// Diverge the userspace model so an update becomes necessary.
 	u.net.Layers[1].B[0] += 2
-	ch := liteflow.NewChannel(eng, cpu, costs, nil)
-	svc := liteflow.NewService(lf, ch, u, u, u)
+	ch := liteflow.NewNetlinkChannel(eng, cpu, costs, nil)
+	svc := liteflow.NewSlowPath(lf, ch, u, u, u)
 	svc.OnUpdate = func(m *liteflow.Model) {
 		fmt.Printf("  snapshot update installed: %s (router switched roles)\n", m.Name)
 	}

@@ -26,7 +26,7 @@ func run(name string, useKernel bool) {
 	eng := netsim.NewEngine()
 	opts := topo.DefaultSpineLeafOpts(8) // 16 hosts
 	opts.UsePrioQueues = true
-	sl := topo.NewSpineLeaf(eng, opts)
+	sl := topo.BuildSpineLeaf(eng, opts)
 	costs := ksim.DefaultCosts()
 
 	// Train the predictor.

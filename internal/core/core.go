@@ -14,7 +14,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -22,6 +21,7 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 )
 
@@ -100,6 +100,8 @@ type Stats struct {
 	Unloads        int64
 	SweptEntries   int64
 	BlockedQueries int64
+	Degraded       int64 // watchdog degradations to the last-good snapshot
+	Recovered      int64 // recoveries after the slow path came back
 }
 
 // coreMetrics holds the core's registry-backed instruments. With a no-op
@@ -114,6 +116,8 @@ type coreMetrics struct {
 	unloads     *obs.Counter
 	swept       *obs.Counter
 	blocked     *obs.Counter
+	degraded    *obs.Counter
+	recovered   *obs.Counter
 	stallNS     *obs.Histogram
 }
 
@@ -127,6 +131,8 @@ func newCoreMetrics(sc obs.Scope) coreMetrics {
 		unloads:     sc.Counter("liteflow_core_snapshot_unloads_total", "retired snapshots removed at refcount 0"),
 		swept:       sc.Counter("liteflow_core_flow_cache_swept_total", "idle flow-cache entries evicted by the sweeper"),
 		blocked:     sc.Counter("liteflow_core_blocked_queries_total", "distinct fast-path queries stalled by a blocking install"),
+		degraded:    sc.Counter("liteflow_core_degraded_total", "watchdog degradations to the last-good snapshot after slow-path silence"),
+		recovered:   sc.Counter("liteflow_core_recovered_total", "recoveries from degraded mode after the slow path resumed"),
 		stallNS:     sc.Histogram("liteflow_core_stall_ns", "per-query stall caused by blocking installs", obs.DurationBuckets()),
 	}
 }
@@ -161,6 +167,15 @@ type Core struct {
 	sc       obs.Scope
 	met      coreMetrics
 	sweeping bool
+
+	// Slow-path watchdog state (see NewCore's opt.WithWatchdog): when armed
+	// and the service stays silent past wd.Window, the core degrades to the
+	// last-good snapshot rather than waiting on a stalled slow path forever.
+	wd        opt.Watchdog
+	wdEnabled bool
+	wdRunning bool
+	lastAlive netsim.Time
+	degraded  bool
 }
 
 type cacheEntry struct {
@@ -168,26 +183,43 @@ type cacheEntry struct {
 	lastUsed netsim.Time
 }
 
-// New returns a core module bound to eng. cpu may be nil to disable CPU
-// accounting (pure-algorithm tests). An optional obs.Scope exports the
-// core's counters to a metrics registry and its datapath events to a
-// tracer; omitted, telemetry is a no-op but the Stats view still counts.
-func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config, sc ...obs.Scope) *Core {
+// NewCore returns a core module bound to eng. cpu may be nil to disable CPU
+// accounting (pure-algorithm tests). Options: opt.WithScope exports the
+// core's counters to a metrics registry and its datapath events to a tracer
+// (omitted, telemetry is a no-op but the Stats view still counts);
+// opt.WithWatchdog enables graceful degradation when the slow path stalls —
+// the watchdog arms once a Service attaches.
+func NewCore(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config, options ...opt.Option) *Core {
+	o := opt.Resolve(options)
 	c := &Core{
 		Eng: eng, CPU: cpu, Costs: costs, Cfg: cfg,
 		cacheEnabled: true,
 		cache:        make(map[netsim.FlowID]*cacheEntry),
 		ios:          make(map[string]IOModule),
-	}
-	if len(sc) > 0 {
-		c.sc = sc[0]
+		sc:           o.Scope,
 	}
 	c.met = newCoreMetrics(c.sc)
+	if o.Watchdog != nil {
+		c.wd = *o.Watchdog
+		c.wdEnabled = true
+	}
 	if cfg.FlowCacheTimeout > 0 {
 		c.sweeping = true
 		c.scheduleSweep()
 	}
 	return c
+}
+
+// New is the pre-options constructor.
+//
+// Deprecated: use NewCore, which takes functional options (opt.WithScope,
+// opt.WithWatchdog).
+func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config, sc ...obs.Scope) *Core {
+	var scope obs.Scope
+	if len(sc) > 0 {
+		scope = sc[0]
+	}
+	return NewCore(eng, cpu, costs, cfg, opt.WithScope(scope))
 }
 
 // Obs returns the core's instrumentation scope (the no-op scope when none
@@ -229,6 +261,8 @@ func (c *Core) Stats() Stats {
 		Unloads:        c.met.unloads.Value(),
 		SweptEntries:   c.met.swept.Value(),
 		BlockedQueries: c.met.blocked.Value(),
+		Degraded:       c.met.degraded.Value(),
+		Recovered:      c.met.recovered.Value(),
 	}
 }
 
@@ -243,12 +277,13 @@ func (c *Core) Active() *Model { return c.active }
 // registrations become the standby snapshot, awaiting Activate.
 func (c *Core) RegisterModel(mod *codegen.Module) (*Model, error) {
 	if mod == nil || mod.Program == nil {
-		return nil, errors.New("core: nil module")
+		return nil, ErrNilModule
 	}
 	if c.active != nil {
 		if mod.Program.InputSize() != c.active.InputSize() ||
 			mod.Program.OutputSize() != c.active.OutputSize() {
-			return nil, fmt.Errorf("core: module %q dims %dx%d do not match active %dx%d",
+			return nil, fmt.Errorf("%w: module %q dims %dx%d do not match active %dx%d",
+				ErrDimensionMismatch,
 				mod.Name, mod.Program.InputSize(), mod.Program.OutputSize(),
 				c.active.InputSize(), c.active.OutputSize())
 		}
@@ -276,7 +311,7 @@ func (c *Core) RegisterModel(mod *codegen.Module) (*Model, error) {
 // standby is installed.
 func (c *Core) Activate() error {
 	if c.standby == nil {
-		return errors.New("core: no standby snapshot to activate")
+		return ErrNoStandby
 	}
 	old := c.active
 	c.active = c.standby
@@ -328,16 +363,17 @@ func (c *Core) LockRemaining() netsim.Time {
 // installed model (paper §4.2).
 func (c *Core) RegisterIO(io IOModule) error {
 	if io == nil {
-		return errors.New("core: nil IO module")
+		return fmt.Errorf("core: nil IO module")
 	}
 	if _, dup := c.ios[io.Name()]; dup {
 		return fmt.Errorf("core: IO module %q already registered", io.Name())
 	}
 	if c.active == nil {
-		return errors.New("core: no model installed")
+		return ErrNoModel
 	}
 	if io.InputSize() != c.active.InputSize() || io.OutputSize() != c.active.OutputSize() {
-		return fmt.Errorf("core: IO module %q requires %dx%d, model is %dx%d",
+		return fmt.Errorf("%w: IO module %q requires %dx%d, model is %dx%d",
+			ErrDimensionMismatch,
 			io.Name(), io.InputSize(), io.OutputSize(),
 			c.active.InputSize(), c.active.OutputSize())
 	}
@@ -363,7 +399,7 @@ func (c *Core) IOModules() int { return len(c.ios) }
 func (c *Core) QueryModel(flow netsim.FlowID, in, out []int64) error {
 	m := c.lookup(flow)
 	if m == nil {
-		return errors.New("core: no model installed")
+		return ErrNoModel
 	}
 	c.met.queries.Inc()
 	if c.CPU != nil {
@@ -452,6 +488,61 @@ func (c *Core) scheduleSweep() {
 
 // StopSweeper halts the idle-entry sweeper (experiment teardown).
 func (c *Core) StopSweeper() { c.sweeping = false }
+
+// slowPathAttached arms the watchdog (when enabled via opt.WithWatchdog).
+// NewSlowPath calls it, so a core without a service never degrades.
+func (c *Core) slowPathAttached() {
+	if !c.wdEnabled || c.wdRunning {
+		return
+	}
+	c.wdRunning = true
+	c.lastAlive = c.Eng.Now()
+	c.scheduleWatchdog()
+}
+
+// scheduleWatchdog ticks every wd.Check: if the slow path has been silent
+// longer than wd.Window, the core degrades gracefully — it pins the
+// last-good (current active) snapshot by discarding any pending standby, so
+// a half-delivered update from the stalled service can never be activated,
+// and keeps serving fast-path queries throughout. Degradation is visible in
+// liteflow_core_degraded_total and a "core/degrade" trace event.
+func (c *Core) scheduleWatchdog() {
+	c.Eng.After(netsim.Time(c.wd.Check), func() {
+		if !c.wdRunning {
+			return
+		}
+		now := c.Eng.Now()
+		if !c.degraded && now-c.lastAlive > netsim.Time(c.wd.Window) {
+			c.degraded = true
+			c.met.degraded.Inc()
+			if c.standby != nil {
+				c.standby.retired = true
+				c.standby = nil
+				c.unloadDead()
+			}
+			c.sc.Event1("core", "degrade", now, "silence_ns", int64(now-c.lastAlive))
+		}
+		c.scheduleWatchdog()
+	})
+}
+
+// NoteSlowPathAlive records slow-path liveness (the service calls it for
+// every batch it accepts). A degraded core recovers here.
+func (c *Core) NoteSlowPathAlive() {
+	c.lastAlive = c.Eng.Now()
+	if c.degraded {
+		c.degraded = false
+		c.met.recovered.Inc()
+		c.sc.Event("core", "recover", c.Eng.Now())
+	}
+}
+
+// Degraded reports whether the watchdog currently has the core pinned to
+// its last-good snapshot.
+func (c *Core) Degraded() bool { return c.degraded }
+
+// StopWatchdog halts the slow-path watchdog (experiment teardown).
+func (c *Core) StopWatchdog() { c.wdRunning = false }
 
 // FlowBackend adapts the core to the cc.Backend interface for one flow:
 // queries run through lf_query_model against the flow's pinned snapshot,

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+)
+
+// bytesToFloats reinterprets raw fuzz bytes as the float64 payload of a
+// netlink message (little-endian, trailing partial word dropped).
+func bytesToFloats(raw []byte) []float64 {
+	out := make([]float64, 0, len(raw)/8)
+	for len(raw) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+		raw = raw[8:]
+	}
+	return out
+}
+
+func floatsToBytes(data []float64) []byte {
+	out := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// FuzzDecodeSample hammers the kernel-boundary sample validator: no input
+// may panic, DecodeSample's verdict must agree with ParseSample's error, a
+// rejection must classify as ErrMalformedSample, and an accepted sample must
+// re-encode to the same payload (round trip).
+func FuzzDecodeSample(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(floatsToBytes(EncodeSample(Sample{Input: []float64{1, 2}, Aux: []float64{3}}).Data))
+	f.Add(floatsToBytes([]float64{0}))
+	f.Add(floatsToBytes([]float64{math.NaN(), 1}))
+	f.Add(floatsToBytes([]float64{-1, 1}))
+	f.Add(floatsToBytes([]float64{5, 1}))
+	f.Add(floatsToBytes([]float64{1.5, 1, 2}))
+	f.Add(floatsToBytes([]float64{2, math.Inf(1), 0.5}))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m := netlink.Message{Kind: netlink.KindSample, Data: bytesToFloats(raw), At: 1}
+		s, err := ParseSample(m)
+		if _, ok := DecodeSample(m); ok != (err == nil) {
+			t.Fatalf("DecodeSample ok=%v disagrees with ParseSample err=%v", ok, err)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrMalformedSample) {
+				t.Fatalf("rejection must wrap ErrMalformedSample, got %v", err)
+			}
+			return
+		}
+		if len(s.Input)+len(s.Aux) != len(m.Data)-1 {
+			t.Fatalf("accepted sample loses data: %d+%d != %d", len(s.Input), len(s.Aux), len(m.Data)-1)
+		}
+		for _, v := range append(append([]float64(nil), s.Input...), s.Aux...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted sample contains non-finite value: %+v", s)
+			}
+		}
+		s.At = m.At
+		re := EncodeSample(s)
+		if len(re.Data) != len(m.Data) {
+			t.Fatalf("round trip length mismatch: %d != %d", len(re.Data), len(m.Data))
+		}
+		for i := range re.Data {
+			if math.Float64bits(re.Data[i]) != math.Float64bits(m.Data[i]) {
+				t.Fatalf("round trip mismatch at %d: %v != %v", i, re.Data[i], m.Data[i])
+			}
+		}
+	})
+}

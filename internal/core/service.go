@@ -1,15 +1,18 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 
 	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/fault"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netlink"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/nn"
 	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 )
 
@@ -31,22 +34,42 @@ func EncodeSample(s Sample) netlink.Message {
 	return netlink.Message{Kind: netlink.KindSample, Data: data, At: s.At}
 }
 
-// DecodeSample unpacks a netlink message produced by EncodeSample. It
-// returns false for malformed payloads rather than panicking: the channel
-// boundary is where a real kernel would validate userspace-visible data.
-func DecodeSample(m netlink.Message) (Sample, bool) {
+// ParseSample unpacks and validates a netlink message produced by
+// EncodeSample. The channel boundary is where a real kernel validates
+// userspace-visible data, so a corrupt payload is rejected — with an error
+// wrapping ErrMalformedSample — rather than misparsed or panicked on.
+// Validation covers the input-length header (finite, integral, within the
+// payload; the range check runs in float space because a huge float→int
+// conversion is implementation-defined) and every payload value (finite).
+func ParseSample(m netlink.Message) (Sample, error) {
 	if len(m.Data) < 1 {
-		return Sample{}, false
+		return Sample{}, fmt.Errorf("%w: empty payload", ErrMalformedSample)
 	}
-	n := int(m.Data[0])
-	if n < 0 || 1+n > len(m.Data) {
-		return Sample{}, false
+	h := m.Data[0]
+	if math.IsNaN(h) || math.IsInf(h, 0) || h != math.Trunc(h) ||
+		h < 0 || h > float64(len(m.Data)-1) {
+		return Sample{}, fmt.Errorf("%w: input-length header %v outside [0, %d]",
+			ErrMalformedSample, h, len(m.Data)-1)
 	}
+	for i, v := range m.Data[1:] {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Sample{}, fmt.Errorf("%w: non-finite value at offset %d",
+				ErrMalformedSample, i+1)
+		}
+	}
+	n := int(h)
 	return Sample{
 		Input: m.Data[1 : 1+n],
 		Aux:   m.Data[1+n:],
 		At:    m.At,
-	}, true
+	}, nil
+}
+
+// DecodeSample is ParseSample with a boolean verdict, for callers that do
+// not need the rejection reason.
+func DecodeSample(m netlink.Message) (Sample, bool) {
+	s, err := ParseSample(m)
+	return s, err == nil
 }
 
 // The three user interfaces of the userspace service (paper §4.1). LiteFlow
@@ -82,7 +105,11 @@ type ServiceStats struct {
 	FidelityChecks     int64
 	Updates            int64 // snapshots actually installed
 	SkippedByNecessity int64
-	BuildFailures      int64 // snapshot codegen failures (install skipped)
+	BuildFailures      int64 // snapshot codegen failures (install retried)
+	InstallRetries     int64 // retry-with-backoff attempts after failures
+	InstallsAbandoned  int64 // installs given up after the retry budget
+	OutageDrops        int64 // batches dropped inside injected outages
+	Malformed          int64 // messages rejected by ParseSample
 	LastFidelity       float64
 	LastStability      float64
 }
@@ -96,6 +123,10 @@ type serviceMetrics struct {
 	updates        *obs.Counter
 	skipped        *obs.Counter
 	buildFailures  *obs.Counter
+	retries        *obs.Counter
+	abandoned      *obs.Counter
+	outageDrops    *obs.Counter
+	malformed      *obs.Counter
 	lastFidelity   *obs.Gauge
 	lastStability  *obs.Gauge
 }
@@ -108,7 +139,11 @@ func newServiceMetrics(sc obs.Scope) serviceMetrics {
 		fidelityChecks: sc.Counter("liteflow_service_fidelity_checks_total", "necessity evaluations performed"),
 		updates:        sc.Counter("liteflow_service_updates_total", "snapshots installed into the kernel"),
 		skipped:        sc.Counter("liteflow_service_skipped_by_necessity_total", "installs skipped because fidelity loss was below threshold"),
-		buildFailures:  sc.Counter("liteflow_snapshot_build_failures_total", "snapshot codegen failures; the install is skipped"),
+		buildFailures:  sc.Counter("liteflow_snapshot_build_failures_total", "snapshot build failures; the install is retried with backoff"),
+		retries:        sc.Counter("liteflow_snapshot_install_retries_total", "snapshot install retry attempts after build failures"),
+		abandoned:      sc.Counter("liteflow_snapshot_installs_abandoned_total", "snapshot installs abandoned after exhausting the retry budget"),
+		outageDrops:    sc.Counter("liteflow_service_outage_drops_total", "batches dropped because the service was inside an injected outage"),
+		malformed:      sc.Counter("liteflow_service_malformed_total", "netlink messages rejected by sample validation"),
 		lastFidelity:   sc.Gauge("liteflow_service_last_fidelity", "minimal fidelity loss from the latest necessity check"),
 		lastStability:  sc.Gauge("liteflow_service_last_stability", "stability metric from the latest batch"),
 	}
@@ -136,24 +171,49 @@ type Service struct {
 	snapCount     int
 	installing    bool
 
+	inj   *fault.Injector
+	retry opt.Retry
+
 	sc  obs.Scope
 	met serviceMetrics
 }
 
-// NewService wires a service to the core and its netlink channel. The
+// NewSlowPath wires a service to the core and its netlink channel. The
 // channel's delivery callback is replaced; call StartBatching on the channel
-// (or Service.Start) to begin periodic delivery. The service inherits the
-// core's obs.Scope unless an explicit one is passed.
-func NewService(c *Core, ch *netlink.Channel, f Freezer, e Evaluator, a Adapter, sc ...obs.Scope) *Service {
+// (or Service.Start) to begin periodic delivery. Options: opt.WithScope
+// overrides the scope (otherwise the service inherits the core's);
+// opt.WithFaults subjects the service to injected outages and snapshot
+// failures; opt.WithRetry tunes the install retry-with-backoff policy.
+// Attaching a service arms the core's watchdog when one was configured.
+func NewSlowPath(c *Core, ch *netlink.Channel, f Freezer, e Evaluator, a Adapter, options ...opt.Option) *Service {
+	o := opt.Resolve(options)
 	s := &Service{Core: c, Chan: ch, Freezer: f, Evaluator: e, Adapter: a, NamePrefix: "snapshot"}
-	if len(sc) > 0 {
-		s.sc = sc[0]
+	if o.HasScope {
+		s.sc = o.Scope
 	} else {
 		s.sc = c.Obs()
 	}
+	s.inj = o.Faults
+	s.retry = opt.DefaultRetry()
+	if o.Retry != nil {
+		s.retry = *o.Retry
+	}
 	s.met = newServiceMetrics(s.sc)
 	ch.SetDeliver(s.HandleBatch)
+	c.slowPathAttached()
 	return s
+}
+
+// NewService is the pre-options constructor.
+//
+// Deprecated: use NewSlowPath, which takes functional options
+// (opt.WithScope, opt.WithFaults, opt.WithRetry).
+func NewService(c *Core, ch *netlink.Channel, f Freezer, e Evaluator, a Adapter, sc ...obs.Scope) *Service {
+	var options []opt.Option
+	if len(sc) > 0 {
+		options = append(options, opt.WithScope(sc[0]))
+	}
+	return NewSlowPath(c, ch, f, e, a, options...)
 }
 
 // Start begins batched data delivery every interval (the paper's T,
@@ -172,23 +232,49 @@ func (s *Service) Stats() ServiceStats {
 		Updates:            s.met.updates.Value(),
 		SkippedByNecessity: s.met.skipped.Value(),
 		BuildFailures:      s.met.buildFailures.Value(),
+		InstallRetries:     s.met.retries.Value(),
+		InstallsAbandoned:  s.met.abandoned.Value(),
+		OutageDrops:        s.met.outageDrops.Value(),
+		Malformed:          s.met.malformed.Value(),
 		LastFidelity:       s.met.lastFidelity.Value(),
 		LastStability:      s.met.lastStability.Value(),
 	}
 }
 
+// Healthy reports whether the service is currently able to process batches.
+// Inside an injected crash/restart window it returns ErrServiceDown.
+func (s *Service) Healthy() error {
+	if s.inj.ServiceDown(int64(s.Core.Eng.Now())) {
+		return ErrServiceDown
+	}
+	return nil
+}
+
 // HandleBatch processes one delivered batch: adapt, then evaluate
 // synchronization. It is exposed so hosts can wire it as the channel's
-// delivery callback.
+// delivery callback. A batch arriving inside an injected service outage is
+// dropped wholesale — a crashed process consumes nothing — which is exactly
+// the silence the core's watchdog detects.
 func (s *Service) HandleBatch(batch []netlink.Message) {
+	now := s.Core.Eng.Now()
+	if s.inj.ServiceDown(int64(now)) {
+		s.met.outageDrops.Inc()
+		s.sc.Event1("service", "outage_drop", now, "msgs", int64(len(batch)))
+		return
+	}
+	s.Core.NoteSlowPathAlive()
 	samples := make([]Sample, 0, len(batch))
 	for _, m := range batch {
 		if m.Kind != netlink.KindSample {
 			continue
 		}
-		if sm, ok := DecodeSample(m); ok {
-			samples = append(samples, sm)
+		sm, err := ParseSample(m)
+		if err != nil {
+			s.met.malformed.Inc()
+			s.sc.Event("service", "malformed", now)
+			continue
 		}
+		samples = append(samples, sm)
 	}
 	if len(samples) == 0 {
 		return
@@ -303,25 +389,63 @@ func (s *Service) evaluateNecessity(samples []Sample) {
 // installSnapshot freezes the userspace model, generates a quantized module,
 // ships it to the kernel as the standby snapshot, and switches roles — the
 // active-standby-switch of §3.4. The datapath keeps using the old active
-// snapshot for the whole install.
+// snapshot for the whole install. A failed build is retried with bounded
+// backoff in virtual time (see opt.Retry); the fast path is never touched
+// by a failed attempt.
 func (s *Service) installSnapshot() {
 	s.installing = true
+	s.tryInstall(0)
+}
+
+// backoff returns the wait before retry attempt n: min(Base<<n, Cap).
+func (s *Service) backoff(attempt int) netsim.Time {
+	b := s.retry.Base << uint(attempt)
+	if b <= 0 || b > s.retry.Cap {
+		b = s.retry.Cap
+	}
+	return netsim.Time(b)
+}
+
+// tryInstall runs one install attempt (0-based). Build failures — real
+// codegen errors or injected build/quantization faults, both wrapping
+// codegen.ErrSnapshotBuild — schedule a retry after backoff until the
+// attempt budget is exhausted; then the install is abandoned and the
+// service keeps adapting with the current snapshot.
+func (s *Service) tryInstall(attempt int) {
+	now := s.Core.Eng.Now()
 	net := s.Freezer.Freeze()
-	prog := quant.Quantize(net, s.Core.Cfg.Quant)
 	s.snapCount++
 	name := s.NamePrefix + "_" + strconv.Itoa(s.snapCount)
-	mod, err := codegen.Build(prog, name)
+
+	var mod *codegen.Module
+	var prog *quant.Program
+	var err error
+	if reason, fail := s.inj.FailSnapshot(int64(now)); fail {
+		err = fmt.Errorf("%w: injected %s failure", codegen.ErrSnapshotBuild, reason)
+	} else {
+		prog = quant.Quantize(net, s.Core.Cfg.Quant)
+		mod, err = codegen.Build(prog, name)
+	}
 	if err != nil {
-		// A bad user network (or name) must not take down the service: skip
-		// this install and keep adapting. The failure is visible in the
-		// build-failure counter and the trace.
+		// A bad user network (or injected fault) must not take down the
+		// service: count it, back off, retry. The failure chain is visible
+		// in the build-failure/retry counters and the trace.
 		s.met.buildFailures.Inc()
-		s.sc.EventStr("snapshot", "build_failure", s.Core.Eng.Now(), "model", name)
-		s.installing = false
+		s.sc.EventMix("snapshot", "build_failure", now, "attempt", int64(attempt+1), "model", name)
+		if attempt+1 >= s.retry.Max {
+			s.met.abandoned.Inc()
+			s.sc.Event1("snapshot", "install_abandoned", now, "attempts", int64(attempt+1))
+			s.installing = false
+			return
+		}
+		wait := s.backoff(attempt)
+		s.met.retries.Inc()
+		s.sc.Event2("snapshot", "install_retry", now, "attempt", int64(attempt+1), "backoff_ns", int64(wait))
+		s.Core.Eng.After(wait, func() { s.tryInstall(attempt + 1) })
 		return
 	}
 	paramBytes := prog.NumParams() * 8
-	s.Chan.SendToKernel(paramBytes, func() {
+	sendErr := s.Chan.SendToKernel(paramBytes, func() {
 		// Kernel-side module install (insmod): charged per parameter, but
 		// the active snapshot keeps serving inference throughout.
 		if s.Core.CPU != nil {
@@ -343,4 +467,9 @@ func (s *Service) installSnapshot() {
 			s.OnUpdate(m)
 		}
 	})
+	if sendErr != nil {
+		// The channel is gone; no kernel to install into.
+		s.met.abandoned.Inc()
+		s.installing = false
+	}
 }

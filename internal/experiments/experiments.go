@@ -159,6 +159,7 @@ func All() []Runner {
 		{"fig17", "Load balancing FCT by flow class", Fig17},
 		{"abl-taylor", "Ablation: LUT vs Taylor activation approximation (§3.1)", AblTaylor},
 		{"abl-update", "Ablation: active-standby switch vs blocking install (§3.4)", AblUpdate},
+		{"resilience", "Goodput under injected faults (graceful degradation)", FigResilience},
 	}
 }
 

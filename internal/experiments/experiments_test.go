@@ -12,8 +12,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {

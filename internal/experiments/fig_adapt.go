@@ -6,10 +6,12 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/cc"
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/fault"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netlink"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/quant"
 	"github.com/liteflow-sim/liteflow/internal/stats"
 	"github.com/liteflow-sim/liteflow/internal/tcp"
@@ -130,11 +132,18 @@ func (a *alphaUser) Adapt(batch []core.Sample) {
 	}
 }
 
-// adaptVariant selects the Figure 12 lines.
+// adaptVariant selects the Figure 12 lines (and the resilience variants).
 type adaptVariant struct {
 	name  string
 	mocc  bool // MOCC architecture + faster tuner
 	adapt bool // false = N-O-A (frozen snapshot)
+
+	// faults enables deterministic fault injection (zero value = none);
+	// watchdog arms the core's slow-path watchdog with window wdWindow
+	// (0 = default).
+	faults   fault.Profile
+	watchdog bool
+	wdWindow netsim.Time
 }
 
 // adaptOut is what the adaptation figures read.
@@ -146,6 +155,9 @@ type adaptOut struct {
 	switches int
 	meanGbps float64
 	svcStats core.ServiceStats
+
+	coreStats  core.Stats
+	faultStats fault.Stats
 }
 
 // runAdaptation executes one congested single-flow (plus optional extra
@@ -157,11 +169,22 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 
 	eng := netsim.NewEngine()
 	opts := topo.TestbedOpts(1)
-	d := topo.NewDumbbell(eng, opts, cfg.Obs)
+	d := topo.BuildDumbbell(eng, opts, opt.WithScope(cfg.Obs))
 	costs := ksim.DefaultCosts()
-	d.AttachCPUs(4, costs, cfg.Obs)
+	d.ProvisionCPUs(4, costs, opt.WithScope(cfg.Obs))
 	sender, receiver := d.Senders[0], d.Receivers[0]
 	cpu := sender.CPU
+
+	// Deterministic fault injector: the decision streams derive from the
+	// experiment seed, so faulted runs are as reproducible as clean ones.
+	var inj *fault.Injector
+	if v.faults.Active() {
+		inj = fault.New(v.faults, cfg.Seed+11, cfg.Obs)
+		inj.StartCPUSpikes(eng, func(work int64) {
+			cpu.Charge(ksim.SoftIRQ, netsim.Time(work))
+		})
+		defer inj.StopCPUSpikes()
+	}
 
 	// Background UDP with a switching pattern: available bandwidth moves
 	// among 0.9, 0.6 and 0.3 Gbps.
@@ -204,7 +227,11 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 	// noisy at 10-sample batches).
 	coreCfg.StabilityWindow = 2
 	coreCfg.StabilityTolerance = 1.0
-	lf := core.New(eng, cpu, costs, coreCfg, cfg.Obs)
+	coreOpts := []opt.Option{opt.WithScope(cfg.Obs)}
+	if v.watchdog {
+		coreOpts = append(coreOpts, opt.WithWatchdog(opt.Watchdog{Window: int64(v.wdWindow)}))
+	}
+	lf := core.NewCore(eng, cpu, costs, coreCfg, coreOpts...)
 	lf.SetFlowCache(false)
 	mod, err := codegen.Build(quant.Quantize(userNet, coreCfg.Quant), "alpha0")
 	if err != nil {
@@ -220,8 +247,9 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 	user := newAlphaUser(userNet, 1e-2, cpu)
 	user.probeGain = probeGain
 	if v.adapt {
-		ch = netlink.New(eng, cpu, costs, nil, cfg.Obs)
-		svc = core.NewService(lf, ch, user, user, user)
+		ch = netlink.NewChannel(eng, cpu, costs, nil,
+			opt.WithScope(cfg.Obs), opt.WithFaults(inj))
+		svc = core.NewSlowPath(lf, ch, user, user, user, opt.WithFaults(inj))
 		svc.Start(T)
 	}
 
@@ -276,11 +304,15 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 		ch.StopBatching()
 	}
 	lf.StopSweeper()
+	lf.StopWatchdog()
 
-	out := adaptOut{report: cpu.Report()}
+	out := adaptOut{report: cpu.Report(), coreStats: lf.Stats()}
 	if svc != nil {
 		out.updates = svc.Stats().Updates
 		out.svcStats = svc.Stats()
+	}
+	if inj != nil {
+		out.faultStats = inj.Stats()
 	}
 	if sw != nil {
 		out.switches = sw.Switches

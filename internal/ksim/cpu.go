@@ -17,6 +17,7 @@ import (
 
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 )
 
 // Category classifies CPU time the way mpstat buckets it.
@@ -69,9 +70,16 @@ type CPU struct {
 // DefaultMaxBacklog is the default bound on queued work, in wall time.
 const DefaultMaxBacklog = 5 * netsim.Millisecond
 
-// NewCPU returns a CPU with the given core count attached to eng. It panics
-// if cores is not positive. An optional obs.Scope exports per-category busy
+// NewHostCPU returns a CPU with the given core count attached to eng. It
+// panics if cores is not positive. opt.WithScope exports per-category busy
 // time and charge trace events; omitted, telemetry is a no-op.
+func NewHostCPU(eng *netsim.Engine, cores int, options ...opt.Option) *CPU {
+	return NewCPU(eng, cores, opt.Resolve(options).Scope)
+}
+
+// NewCPU is the pre-options constructor.
+//
+// Deprecated: use NewHostCPU, which takes functional options (opt.WithScope).
 func NewCPU(eng *netsim.Engine, cores int, sc ...obs.Scope) *CPU {
 	if cores <= 0 {
 		panic("ksim: cores must be positive")

@@ -12,10 +12,18 @@
 package netlink
 
 import (
+	"errors"
+
+	"github.com/liteflow-sim/liteflow/internal/fault"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 )
+
+// ErrChannelClosed is returned by operations on a channel after Close. Test
+// with errors.Is.
+var ErrChannelClosed = errors.New("netlink: channel closed")
 
 // MsgKind distinguishes the two record types the paper sends over netlink.
 type MsgKind int
@@ -43,32 +51,35 @@ func (m Message) wireBytes() int { return 16 + 8*len(m.Data) }
 // Stats counts channel activity for experiment reporting. It is a snapshot
 // view over the channel's registry-backed counters.
 type Stats struct {
-	Flushes   int64
-	Messages  int64
-	Bytes     int64
-	Dropped   int64 // messages discarded by the bounded kernel buffer
-	Downcalls int64 // userspace→kernel deliveries
-	DownBytes int64
+	Flushes     int64
+	Messages    int64
+	Bytes       int64
+	Dropped     int64 // messages discarded by the bounded kernel buffer
+	Downcalls   int64 // userspace→kernel deliveries
+	DownBytes   int64
+	Undelivered int64 // batched messages that fired with no delivery callback
 }
 
 // chanMetrics holds the channel's registry-backed instruments.
 type chanMetrics struct {
-	flushes   *obs.Counter
-	messages  *obs.Counter
-	bytes     *obs.Counter
-	dropped   *obs.Counter
-	downcalls *obs.Counter
-	downBytes *obs.Counter
+	flushes     *obs.Counter
+	messages    *obs.Counter
+	bytes       *obs.Counter
+	dropped     *obs.Counter
+	downcalls   *obs.Counter
+	downBytes   *obs.Counter
+	undelivered *obs.Counter
 }
 
 func newChanMetrics(sc obs.Scope) chanMetrics {
 	return chanMetrics{
-		flushes:   sc.Counter("liteflow_netlink_flushes_total", "kernel→userspace batch deliveries"),
-		messages:  sc.Counter("liteflow_netlink_messages_total", "messages delivered to userspace"),
-		bytes:     sc.Counter("liteflow_netlink_bytes_total", "wire bytes delivered to userspace"),
-		dropped:   sc.Counter("liteflow_netlink_dropped_total", "messages displaced by the bounded kernel buffer"),
-		downcalls: sc.Counter("liteflow_netlink_downcalls_total", "userspace→kernel transfers"),
-		downBytes: sc.Counter("liteflow_netlink_down_bytes_total", "userspace→kernel payload bytes"),
+		flushes:     sc.Counter("liteflow_netlink_flushes_total", "kernel→userspace batch deliveries"),
+		messages:    sc.Counter("liteflow_netlink_messages_total", "messages delivered to userspace"),
+		bytes:       sc.Counter("liteflow_netlink_bytes_total", "wire bytes delivered to userspace"),
+		dropped:     sc.Counter("liteflow_netlink_dropped_total", "messages displaced by the bounded kernel buffer"),
+		downcalls:   sc.Counter("liteflow_netlink_downcalls_total", "userspace→kernel transfers"),
+		downBytes:   sc.Counter("liteflow_netlink_down_bytes_total", "userspace→kernel payload bytes"),
+		undelivered: sc.Counter("liteflow_netlink_undelivered_total", "batched messages discarded because no delivery callback was installed"),
 	}
 }
 
@@ -86,6 +97,9 @@ type Channel struct {
 	buf     []Message
 	deliver func(batch []Message)
 
+	inj    *fault.Injector
+	closed bool
+
 	sc  obs.Scope
 	met chanMetrics
 
@@ -93,34 +107,74 @@ type Channel struct {
 	interval netsim.Time
 }
 
-// New returns a channel delivering kernel batches to deliver. The callback
-// runs in virtual time after the cross-space latency has elapsed. An
-// optional obs.Scope exports channel metrics and batch-delivery trace
-// events; omitted, telemetry is a no-op (counters still count).
-func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, deliver func(batch []Message), sc ...obs.Scope) *Channel {
-	c := &Channel{eng: eng, cpu: cpu, costs: costs, MaxBuffer: 4096, deliver: deliver}
-	if len(sc) > 0 {
-		c.sc = sc[0]
-	}
+// NewChannel returns a channel delivering kernel batches to deliver. The
+// callback runs in virtual time after the cross-space latency has elapsed;
+// it may also be installed later with SetDeliver (batches that fire while no
+// callback is installed are counted and discarded, never a panic).
+// opt.WithScope exports channel metrics and batch-delivery trace events
+// (omitted, telemetry is a no-op but counters still count); opt.WithFaults
+// injects message drop/corruption and batch delay/reorder at flush time.
+func NewChannel(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, deliver func(batch []Message), options ...opt.Option) *Channel {
+	o := opt.Resolve(options)
+	c := &Channel{eng: eng, cpu: cpu, costs: costs, MaxBuffer: 4096, deliver: deliver,
+		inj: o.Faults, sc: o.Scope}
 	c.met = newChanMetrics(c.sc)
 	return c
+}
+
+// New is the pre-options constructor.
+//
+// Deprecated: use NewChannel, which takes functional options (opt.WithScope,
+// opt.WithFaults).
+func New(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, deliver func(batch []Message), sc ...obs.Scope) *Channel {
+	var scope obs.Scope
+	if len(sc) > 0 {
+		scope = sc[0]
+	}
+	return NewChannel(eng, cpu, costs, deliver, opt.WithScope(scope))
 }
 
 // Stats returns a snapshot of the channel's counters.
 func (c *Channel) Stats() Stats {
 	return Stats{
-		Flushes:   c.met.flushes.Value(),
-		Messages:  c.met.messages.Value(),
-		Bytes:     c.met.bytes.Value(),
-		Dropped:   c.met.dropped.Value(),
-		Downcalls: c.met.downcalls.Value(),
-		DownBytes: c.met.downBytes.Value(),
+		Flushes:     c.met.flushes.Value(),
+		Messages:    c.met.messages.Value(),
+		Bytes:       c.met.bytes.Value(),
+		Dropped:     c.met.dropped.Value(),
+		Downcalls:   c.met.downcalls.Value(),
+		DownBytes:   c.met.downBytes.Value(),
+		Undelivered: c.met.undelivered.Value(),
 	}
 }
 
 // SetDeliver replaces the kernel-batch delivery callback. The userspace
 // service installs itself here after construction.
+//
+// Replacement is safe with respect to in-flight flushes: a batch whose
+// cross-space latency is still elapsing is delivered to the callback
+// installed at *delivery* time, not at flush time, and a batch that fires
+// with no callback installed is counted in
+// liteflow_netlink_undelivered_total and discarded rather than panicking.
+// Like the rest of the simulator, the channel is single-goroutine: SetDeliver
+// must be called from simulation context (a test asserts this contract).
 func (c *Channel) SetDeliver(fn func(batch []Message)) { c.deliver = fn }
+
+// Close shuts the channel down: pending buffered messages are discarded,
+// periodic batching stops, and subsequent Push/Flush/SendToKernel calls are
+// rejected. Close is idempotent.
+func (c *Channel) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.ticking = false
+	c.met.dropped.Add(int64(len(c.buf)))
+	c.buf = nil
+	c.sc.Event("netlink", "close", c.eng.Now())
+}
+
+// Closed reports whether Close has been called.
+func (c *Channel) Closed() bool { return c.closed }
 
 // Buffered returns the number of kernel-side messages awaiting flush.
 func (c *Channel) Buffered() int { return len(c.buf) }
@@ -129,6 +183,10 @@ func (c *Channel) Buffered() int { return len(c.buf) }
 // in-kernel memory writes: free in this model (their cost is subsumed by the
 // per-packet processing charge already paid by the datapath).
 func (c *Channel) Push(m Message) {
+	if c.closed {
+		c.met.dropped.Inc()
+		return
+	}
 	max := c.MaxBuffer
 	if max <= 0 {
 		max = 4096
@@ -146,12 +204,38 @@ func (c *Channel) Push(m Message) {
 // Flush sends the accumulated batch to userspace now, charging the CPU for
 // one cross-space transition plus copy costs, and invoking the delivery
 // callback after the transition latency. An empty buffer flush is free.
+// With a fault injector attached, per-message drop/corruption and per-batch
+// reorder/extra-delay faults apply here — after the kernel has paid the
+// flush costs, like a lossy boundary would behave.
 func (c *Channel) Flush() {
-	if len(c.buf) == 0 {
+	if c.closed || len(c.buf) == 0 {
 		return
 	}
 	batch := c.buf
 	c.buf = nil
+	now := c.eng.Now()
+
+	if c.inj != nil {
+		kept := batch[:0]
+		for _, m := range batch {
+			if c.inj.DropMessage(now) {
+				continue
+			}
+			c.inj.CorruptMessage(now, m.Data)
+			kept = append(kept, m)
+		}
+		batch = kept
+		if perm := c.inj.BatchPermutation(now, len(batch)); perm != nil {
+			shuffled := make([]Message, len(batch))
+			for i, p := range perm {
+				shuffled[i] = batch[p]
+			}
+			batch = shuffled
+		}
+		if len(batch) == 0 {
+			return // whole batch lost; the flush costs below were never paid
+		}
+	}
 
 	bytes := 0
 	for _, m := range batch {
@@ -160,14 +244,27 @@ func (c *Channel) Flush() {
 	c.met.flushes.Inc()
 	c.met.messages.Add(int64(len(batch)))
 	c.met.bytes.Add(int64(bytes))
-	c.sc.Event2("netlink", "flush", c.eng.Now(), "msgs", int64(len(batch)), "bytes", int64(bytes))
+	c.sc.Event2("netlink", "flush", now, "msgs", int64(len(batch)), "bytes", int64(bytes))
 
 	// One softirq-visible wakeup per flush; copy work scales with volume.
 	c.cpu.Charge(ksim.SoftIRQ, c.costs.CrossSpace)
 	c.cpu.Charge(ksim.Kernel, c.costs.NetlinkPerMsg+netsim.Time(bytes)*c.costs.NetlinkPerByte)
 
 	delay := c.costs.CrossSpaceLatency + c.cpu.QueueDelay()
-	c.eng.After(delay, func() { c.deliver(batch) })
+	if c.inj != nil {
+		delay += netsim.Time(c.inj.DeliveryDelay(now))
+	}
+	c.eng.After(delay, func() {
+		// Resolve the callback at delivery time so SetDeliver replacements
+		// apply to in-flight batches, and a missing callback degrades to a
+		// counted discard instead of a panic.
+		if fn := c.deliver; fn != nil {
+			fn(batch)
+			return
+		}
+		c.met.undelivered.Add(int64(len(batch)))
+		c.sc.Event1("netlink", "undelivered", c.eng.Now(), "msgs", int64(len(batch)))
+	})
 }
 
 // StartBatching schedules periodic flushes every interval — the paper's
@@ -176,6 +273,9 @@ func (c *Channel) Flush() {
 func (c *Channel) StartBatching(interval netsim.Time) {
 	if interval <= 0 {
 		panic("netlink: batch interval must be positive")
+	}
+	if c.closed {
+		return
 	}
 	c.interval = interval
 	if c.ticking {
@@ -203,8 +303,12 @@ func (c *Channel) tick() {
 
 // SendToKernel models a userspace→kernel transfer of payloadBytes (snapshot
 // parameters, evaluation queries), invoking done in the kernel after costs
-// and latency. The transition is softirq work; the copy is kernel work.
-func (c *Channel) SendToKernel(payloadBytes int, done func()) {
+// and latency. The transition is softirq work; the copy is kernel work. It
+// returns ErrChannelClosed (and never invokes done) after Close.
+func (c *Channel) SendToKernel(payloadBytes int, done func()) error {
+	if c.closed {
+		return ErrChannelClosed
+	}
 	c.met.downcalls.Inc()
 	c.met.downBytes.Add(int64(payloadBytes))
 	c.sc.Event1("netlink", "downcall", c.eng.Now(), "bytes", int64(payloadBytes))
@@ -216,4 +320,5 @@ func (c *Channel) SendToKernel(payloadBytes int, done func()) {
 			done()
 		}
 	})
+	return nil
 }

@@ -142,6 +142,17 @@ func (s Scope) EventStr(cat, name string, at int64, k, v string) {
 		Args: [2]Arg{{Key: k, Str: v}}})
 }
 
+// EventMix records an instant event with one integer and one string
+// argument — the mixed shape resilience events need (e.g. a retry attempt
+// number plus the failing model's name).
+func (s Scope) EventMix(cat, name string, at int64, k1 string, v1 int64, k2, v2 string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 2,
+		Args: [2]Arg{{Key: k1, Val: v1}, {Key: k2, Str: v2}}})
+}
+
 // Span records a complete event covering [at, at+dur).
 func (s Scope) Span(cat, name string, at, dur int64) {
 	if s.tracer == nil {

@@ -10,6 +10,7 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/tcp"
 )
 
@@ -61,7 +62,17 @@ type SpineLeaf struct {
 	Spines []*netsim.Switch
 }
 
+// BuildSpineLeaf builds and wires the fabric. Options are accepted for
+// signature symmetry with BuildDumbbell; the fabric itself has no scoped
+// telemetry today (per-host CPU scopes come from ProvisionCPUs).
+func BuildSpineLeaf(eng *netsim.Engine, opts SpineLeafOpts, options ...opt.Option) *SpineLeaf {
+	_ = opt.Resolve(options)
+	return NewSpineLeaf(eng, opts)
+}
+
 // NewSpineLeaf builds and wires the fabric.
+//
+// Deprecated: use BuildSpineLeaf, which takes functional options.
 func NewSpineLeaf(eng *netsim.Engine, opts SpineLeafOpts) *SpineLeaf {
 	t := &SpineLeaf{Eng: eng, Opts: opts}
 
@@ -142,18 +153,25 @@ func (t *SpineLeaf) PathVia(src, dst, spine int) []int {
 	return []int{SpineIDBase + spine}
 }
 
-// AttachCPUs gives every host a CPU with the given core count and cost
-// table. An optional obs.Scope labels each host's CPU telemetry with
-// host="<id>".
+// ProvisionCPUs gives every host a CPU with the given core count and cost
+// table. opt.WithScope labels each host's CPU telemetry with host="<id>".
+func (t *SpineLeaf) ProvisionCPUs(cores int, costs ksim.Costs, options ...opt.Option) {
+	scope := opt.Resolve(options).Scope
+	for i, h := range t.Hosts {
+		hsc := scope.With(obs.Label{Key: "host", Value: strconv.Itoa(i)})
+		h.AttachCPU(ksim.NewCPU(t.Eng, cores, hsc), costs)
+	}
+}
+
+// AttachCPUs is the pre-options form of ProvisionCPUs.
+//
+// Deprecated: use ProvisionCPUs with opt.WithScope.
 func (t *SpineLeaf) AttachCPUs(cores int, costs ksim.Costs, sc ...obs.Scope) {
 	var scope obs.Scope
 	if len(sc) > 0 {
 		scope = sc[0]
 	}
-	for i, h := range t.Hosts {
-		hsc := scope.With(obs.Label{Key: "host", Value: strconv.Itoa(i)})
-		h.AttachCPU(ksim.NewCPU(t.Eng, cores, hsc), costs)
-	}
+	t.ProvisionCPUs(cores, costs, opt.WithScope(scope))
 }
 
 // Dumbbell is the testbed analog used by the CC experiments: sender hosts
@@ -193,15 +211,11 @@ func TestbedOpts(flows int) DumbbellOpts {
 	}
 }
 
-// NewDumbbell builds the dumbbell. Sender host IDs are 0..F−1, receivers
-// F..2F−1, the UDP host is 2F. An optional obs.Scope exports drop/ECN
-// telemetry for the two shared links, labelled link="bottleneck" and
-// link="back".
-func NewDumbbell(eng *netsim.Engine, opts DumbbellOpts, sc ...obs.Scope) *Dumbbell {
-	var scope obs.Scope
-	if len(sc) > 0 {
-		scope = sc[0]
-	}
+// BuildDumbbell builds the dumbbell. Sender host IDs are 0..F−1, receivers
+// F..2F−1, the UDP host is 2F. opt.WithScope exports drop/ECN telemetry for
+// the two shared links, labelled link="bottleneck" and link="back".
+func BuildDumbbell(eng *netsim.Engine, opts DumbbellOpts, options ...opt.Option) *Dumbbell {
+	scope := opt.Resolve(options).Scope
 	d := &Dumbbell{Eng: eng}
 	d.Left = netsim.NewSwitch(LeafIDBase)
 	d.Right = netsim.NewSwitch(LeafIDBase + 1)
@@ -241,13 +255,21 @@ func NewDumbbell(eng *netsim.Engine, opts DumbbellOpts, sc ...obs.Scope) *Dumbbe
 	return d
 }
 
-// AttachCPUs gives every dumbbell host a CPU (the paper's 4-core servers).
-// An optional obs.Scope labels each host's CPU telemetry with host="<id>".
-func (d *Dumbbell) AttachCPUs(cores int, costs ksim.Costs, sc ...obs.Scope) {
+// NewDumbbell is the pre-options form of BuildDumbbell.
+//
+// Deprecated: use BuildDumbbell with opt.WithScope.
+func NewDumbbell(eng *netsim.Engine, opts DumbbellOpts, sc ...obs.Scope) *Dumbbell {
 	var scope obs.Scope
 	if len(sc) > 0 {
 		scope = sc[0]
 	}
+	return BuildDumbbell(eng, opts, opt.WithScope(scope))
+}
+
+// ProvisionCPUs gives every dumbbell host a CPU (the paper's 4-core servers).
+// opt.WithScope labels each host's CPU telemetry with host="<id>".
+func (d *Dumbbell) ProvisionCPUs(cores int, costs ksim.Costs, options ...opt.Option) {
+	scope := opt.Resolve(options).Scope
 	hostScope := func(h *tcp.Host) obs.Scope {
 		return scope.With(obs.Label{Key: "host", Value: strconv.Itoa(h.ID)})
 	}
@@ -258,6 +280,17 @@ func (d *Dumbbell) AttachCPUs(cores int, costs ksim.Costs, sc ...obs.Scope) {
 		h.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(h)), costs)
 	}
 	d.UDPHost.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(d.UDPHost)), costs)
+}
+
+// AttachCPUs is the pre-options form of ProvisionCPUs.
+//
+// Deprecated: use ProvisionCPUs with opt.WithScope.
+func (d *Dumbbell) AttachCPUs(cores int, costs ksim.Costs, sc ...obs.Scope) {
+	var scope obs.Scope
+	if len(sc) > 0 {
+		scope = sc[0]
+	}
+	d.ProvisionCPUs(cores, costs, opt.WithScope(scope))
 }
 
 // QueueBytes returns the bottleneck's current backlog — the Figure 1b

@@ -16,9 +16,38 @@
 //	lf.RegisterModel(snap)                  // lf_register_model
 //	lf.QueryModel(flowID, input, output)    // lf_query_model
 //
-// and the slow path attaches with NewService + a Freezer/Evaluator/Adapter
+// and the slow path attaches with NewSlowPath + a Freezer/Evaluator/Adapter
 // implementation. See examples/quickstart for a complete program and
 // DESIGN.md for the system inventory.
+//
+// # Functional options
+//
+// Constructors take variadic Option values instead of trailing positional
+// extras:
+//
+//	lf := liteflow.NewCore(eng, cpu, costs, cfg,
+//		liteflow.WithScope(sc),          // telemetry export
+//		liteflow.WithFaults(inj),        // deterministic fault injection
+//		liteflow.WithWatchdog(liteflow.WatchdogConfig{}))
+//
+// WithScope attaches an observability Scope (metrics + tracing). WithFaults
+// attaches a deterministic, seed-driven fault injector (NewFaultInjector)
+// that perturbs the netlink boundary and the slow path. WithWatchdog arms
+// the core's slow-path watchdog: if no batch reaches the service within the
+// configured window the core degrades gracefully to its last-good snapshot
+// (counted in liteflow_core_degraded_total) instead of serving stale standby
+// state. WithRetry bounds the slow path's snapshot-install retry/backoff
+// policy. The pre-options constructors (New, NewCPU, NewChannel, NewService)
+// remain as deprecated thin wrappers.
+//
+// # Errors
+//
+// Failures are classified with wrapped sentinel errors, tested via
+// errors.Is: ErrSnapshotBuild (snapshot generation/validation failed, the
+// install is retried with backoff), ErrChannelClosed (netlink channel used
+// after Close), ErrServiceDown (slow-path service inside an injected outage
+// window), ErrMalformedSample (a netlink payload failed validation at the
+// kernel boundary and was rejected).
 package liteflow
 
 import (
@@ -26,12 +55,77 @@ import (
 
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/fault"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netlink"
 	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/nn"
 	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+// Option configures a constructor (see the package doc's "Functional
+// options" section). Options are shared across all LiteFlow constructors;
+// each constructor applies the ones relevant to it.
+type Option = opt.Option
+
+// Fault-injection and resilience types.
+type (
+	// FaultInjector is a deterministic, seed-driven fault source (message
+	// drop/corruption, batch delay/reorder, snapshot build failures, service
+	// outages, CPU spikes). A nil *FaultInjector is valid and injects
+	// nothing.
+	FaultInjector = fault.Injector
+	// FaultProfile selects which fault classes fire and how often.
+	FaultProfile = fault.Profile
+	// FaultStats counts injected faults by kind.
+	FaultStats = fault.Stats
+	// WatchdogConfig tunes the core's slow-path watchdog (zero fields pick
+	// defaults: 1 s window, window/2 check interval).
+	WatchdogConfig = opt.Watchdog
+	// RetryConfig bounds snapshot-install retries (zero fields pick
+	// defaults: 3 attempts, 50 ms base backoff, 1 s cap).
+	RetryConfig = opt.Retry
+)
+
+// WithScope attaches an observability Scope to a constructor.
+func WithScope(sc Scope) Option { return opt.WithScope(sc) }
+
+// WithFaults attaches a fault injector to a constructor. The same injector
+// should be shared across the channel and slow path so its deterministic
+// streams interleave reproducibly.
+func WithFaults(inj *FaultInjector) Option { return opt.WithFaults(inj) }
+
+// WithWatchdog arms the core's slow-path watchdog with the given
+// configuration (zero value selects defaults).
+func WithWatchdog(w WatchdogConfig) Option { return opt.WithWatchdog(w) }
+
+// WithRetry sets the slow path's snapshot-install retry policy.
+func WithRetry(r RetryConfig) Option { return opt.WithRetry(r) }
+
+// NewFaultInjector builds a deterministic fault injector for profile p,
+// seeded with seed. Same profile + seed ⇒ identical fault decisions, so
+// faulted runs stay byte-reproducible. The Scope exports
+// liteflow_fault_injected_total and per-fault trace events.
+func NewFaultInjector(p FaultProfile, seed int64, sc Scope) *FaultInjector {
+	return fault.New(p, seed, sc)
+}
+
+// FaultProfileByName maps a CLI-friendly name ("none", "netlink",
+// "slowpath", "chaos") to a preset fault profile; ok is false for unknown
+// names.
+func FaultProfileByName(name string) (FaultProfile, bool) { return fault.ByName(name) }
+
+// Sentinel errors re-exported from the internal packages; classify with
+// errors.Is (see the package doc's "Errors" section).
+var (
+	ErrSnapshotBuild     = codegen.ErrSnapshotBuild
+	ErrChannelClosed     = netlink.ErrChannelClosed
+	ErrServiceDown       = core.ErrServiceDown
+	ErrMalformedSample   = core.ErrMalformedSample
+	ErrNoModel           = core.ErrNoModel
+	ErrDimensionMismatch = core.ErrDimensionMismatch
 )
 
 // Core framework types (paper Table 1 and §4). Core's methods map onto the
@@ -98,8 +192,15 @@ const (
 // NewEngine returns a fresh discrete-event engine.
 func NewEngine() *Engine { return netsim.NewEngine() }
 
-// NewCPU returns a CPU with the given core count attached to eng. An
-// optional Scope exports per-category busy-time telemetry.
+// NewHostCPU returns a CPU with the given core count attached to eng.
+// WithScope exports per-category busy-time telemetry.
+func NewHostCPU(eng *Engine, cores int, options ...Option) *CPU {
+	return ksim.NewHostCPU(eng, cores, options...)
+}
+
+// NewCPU is the pre-options form of NewHostCPU.
+//
+// Deprecated: use NewHostCPU with WithScope.
 func NewCPU(eng *Engine, cores int, sc ...Scope) *CPU { return ksim.NewCPU(eng, cores, sc...) }
 
 // DefaultCosts returns the calibrated CPU cost table (see internal/ksim).
@@ -113,8 +214,16 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // settings (paper §3.1).
 func DefaultQuantConfig() QuantConfig { return quant.DefaultConfig() }
 
-// New creates a LiteFlow core module on eng. cpu may be nil to disable CPU
-// cost accounting. An optional Scope exports fast-path telemetry.
+// NewCore creates a LiteFlow core module on eng. cpu may be nil to disable
+// CPU cost accounting. WithScope exports fast-path telemetry; WithWatchdog
+// arms graceful degradation when the slow path stalls.
+func NewCore(eng *Engine, cpu *CPU, costs Costs, cfg Config, options ...Option) *Core {
+	return core.NewCore(eng, cpu, costs, cfg, options...)
+}
+
+// New is the pre-options form of NewCore.
+//
+// Deprecated: use NewCore with WithScope.
 func New(eng *Engine, cpu *CPU, costs Costs, cfg Config, sc ...Scope) *Core {
 	return core.New(eng, cpu, costs, cfg, sc...)
 }
@@ -152,9 +261,17 @@ func GenerateSource(p *Program, name string) (string, error) {
 	return codegen.Generate(p, name)
 }
 
-// NewChannel creates a batched netlink channel on the given host CPU. Pass
-// the service's HandleBatch (or use NewService, which wires itself). An
-// optional Scope exports batch-delivery telemetry.
+// NewNetlinkChannel creates a batched netlink channel on the given host CPU.
+// Pass the service's HandleBatch (or use NewSlowPath, which wires itself).
+// WithScope exports batch-delivery telemetry; WithFaults injects message and
+// batch faults at flush time.
+func NewNetlinkChannel(eng *Engine, cpu *CPU, costs Costs, deliver func([]netlink.Message), options ...Option) *Channel {
+	return netlink.NewChannel(eng, cpu, costs, deliver, options...)
+}
+
+// NewChannel is the pre-options form of NewNetlinkChannel.
+//
+// Deprecated: use NewNetlinkChannel with WithScope.
 func NewChannel(eng *Engine, cpu *CPU, costs Costs, deliver func([]netlink.Message), sc ...Scope) *Channel {
 	return netlink.New(eng, cpu, costs, deliver, sc...)
 }
@@ -168,8 +285,21 @@ func EncodeSample(s Sample) Message { return core.EncodeSample(s) }
 // DecodeSample unpacks a batched record; ok is false for malformed payloads.
 func DecodeSample(m Message) (Sample, bool) { return core.DecodeSample(m) }
 
-// NewService wires the userspace slow path to a core and its channel. The
-// service inherits the core's Scope unless an explicit one is passed.
+// ParseSample unpacks a batched record, returning an error wrapping
+// ErrMalformedSample for payloads that fail kernel-boundary validation.
+func ParseSample(m Message) (Sample, error) { return core.ParseSample(m) }
+
+// NewSlowPath wires the userspace slow path to a core and its channel. The
+// service inherits the core's Scope unless WithScope overrides it; WithFaults
+// injects snapshot build failures and service outages; WithRetry bounds the
+// install retry policy.
+func NewSlowPath(c *Core, ch *Channel, f Freezer, e Evaluator, a Adapter, options ...Option) *Service {
+	return core.NewSlowPath(c, ch, f, e, a, options...)
+}
+
+// NewService is the pre-options form of NewSlowPath.
+//
+// Deprecated: use NewSlowPath with WithScope.
 func NewService(c *Core, ch *Channel, f Freezer, e Evaluator, a Adapter, sc ...Scope) *Service {
 	return core.NewService(c, ch, f, e, a, sc...)
 }
@@ -203,7 +333,8 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // NewScope binds a registry and tracer (either may be nil) into a Scope to
-// pass to New, NewCPU, NewChannel, NewService and the topology builders.
+// pass via WithScope to NewCore, NewHostCPU, NewNetlinkChannel, NewSlowPath
+// and the topology builders.
 func NewScope(reg *MetricsRegistry, tr *Tracer) Scope { return obs.New(reg, tr) }
 
 // NewTelemetryHandler serves /metrics (Prometheus text format) and

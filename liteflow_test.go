@@ -1,6 +1,7 @@
 package liteflow_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -95,5 +96,90 @@ func TestGenerateSourceFacade(t *testing.T) {
 	}
 	if _, err := liteflow.GenerateSource(liteflow.Quantize(net, liteflow.DefaultQuantConfig()), "bad name"); err == nil {
 		t.Error("invalid name must be rejected")
+	}
+}
+
+// TestOptionsAPILifecycle exercises the redesigned functional-options
+// constructors end to end: an injected-fault run with watchdog + retry
+// policies, sentinel-error classification, and profile lookup — all through
+// the public facade.
+func TestOptionsAPILifecycle(t *testing.T) {
+	eng := liteflow.NewEngine()
+	cpu := liteflow.NewHostCPU(eng, 4)
+	costs := liteflow.DefaultCosts()
+	sc := liteflow.NewScope(nil, nil)
+
+	prof, ok := liteflow.FaultProfileByName("chaos")
+	if !ok || !prof.Active() {
+		t.Fatal("chaos profile must resolve and be active")
+	}
+	if _, ok := liteflow.FaultProfileByName("nope"); ok {
+		t.Fatal("unknown profile name must be rejected")
+	}
+	inj := liteflow.NewFaultInjector(prof, 42, sc)
+
+	net := liteflow.NewNetwork([]int{4, 6, 1},
+		[]liteflow.Activation{liteflow.Tanh, liteflow.Sigmoid}, 1)
+	snap, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "opts_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := liteflow.DefaultConfig()
+	cfg.OutMin, cfg.OutMax = 0, 1
+	cfg.FlowCacheTimeout = 0
+	lf := liteflow.NewCore(eng, cpu, costs, cfg,
+		liteflow.WithScope(sc),
+		liteflow.WithWatchdog(liteflow.WatchdogConfig{Window: int64(200 * liteflow.Millisecond)}))
+	defer lf.StopWatchdog()
+	if _, err := lf.RegisterModel(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	u := &apiUser{net: net.Clone()}
+	ch := liteflow.NewNetlinkChannel(eng, cpu, costs, nil,
+		liteflow.WithScope(sc), liteflow.WithFaults(inj))
+	svc := liteflow.NewSlowPath(lf, ch, u, u, u,
+		liteflow.WithScope(sc), liteflow.WithFaults(inj),
+		liteflow.WithRetry(liteflow.RetryConfig{
+			Max: 2, Base: int64(10 * liteflow.Millisecond), Cap: int64(liteflow.Second)}))
+	svc.Start(50 * liteflow.Millisecond)
+	for i := 0; i < 60; i++ {
+		ch.Push(liteflow.EncodeSample(liteflow.Sample{
+			Input: []float64{0.1, 0.2, 0.3, float64(i%7) / 7},
+			At:    eng.Now(),
+		}))
+		eng.RunUntil(eng.Now() + 10*liteflow.Millisecond)
+	}
+	ch.StopBatching()
+	lf.StopSweeper()
+
+	if inj.Stats().Total() == 0 {
+		t.Error("chaos injector fired nothing over 600 virtual ms")
+	}
+	in := snap.Program.QuantizeInput([]float64{0.1, 0.2, 0.3, 0.4}, nil)
+	out := make([]int64, 1)
+	if err := lf.QueryModel(1, in, out); err != nil {
+		t.Errorf("fast path must keep serving under faults: %v", err)
+	}
+
+	// Sentinel errors survive the facade re-export.
+	wrongDims := liteflow.NewNetwork([]int{2, 2}, []liteflow.Activation{liteflow.ReLU}, 2)
+	badSnap, err := liteflow.BuildSnapshot(wrongDims, liteflow.DefaultQuantConfig(), "wrong_dims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.RegisterModel(badSnap); !errors.Is(err, liteflow.ErrDimensionMismatch) {
+		t.Errorf("want ErrDimensionMismatch, got %v", err)
+	}
+	ch.Close()
+	if err := ch.SendToKernel(8, nil); !errors.Is(err, liteflow.ErrChannelClosed) {
+		t.Errorf("want ErrChannelClosed, got %v", err)
+	}
+	if _, err := liteflow.ParseSample(liteflow.Message{Data: []float64{-1, 1}}); !errors.Is(err, liteflow.ErrMalformedSample) {
+		t.Errorf("want ErrMalformedSample, got %v", err)
+	}
+	if _, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "bad name"); !errors.Is(err, liteflow.ErrSnapshotBuild) {
+		t.Errorf("want ErrSnapshotBuild, got %v", err)
 	}
 }
