@@ -1,0 +1,72 @@
+package liteflow_test
+
+// Allocation guards for the inference hot path. cmd/lfbench's regression
+// mode snapshots allocs/op into BENCH_<rev>.json; these tests are the
+// stricter, always-on gate: steady-state lf_query_model and the batched
+// variant must not touch the heap at all. Run in CI's bench-smoke job next
+// to the -race suite.
+
+import (
+	"testing"
+
+	liteflow "github.com/liteflow-sim/liteflow"
+)
+
+// queryFixture builds the Table-1 rig: a registered 30→32→16→1 snapshot on a
+// core with the flow cache pinned (timeout 0 ⇒ the first query populates the
+// cache and every later one is a steady-state hit).
+func queryFixture(t testing.TB) (lf *liteflow.Core, in, out []int64) {
+	t.Helper()
+	eng := liteflow.NewEngine()
+	cfg := liteflow.DefaultConfig()
+	cfg.FlowCacheTimeout = 0
+	lf = liteflow.New(eng, nil, liteflow.DefaultCosts(), cfg)
+	net := liteflow.NewNetwork([]int{30, 32, 16, 1},
+		[]liteflow.Activation{liteflow.Tanh, liteflow.Tanh, liteflow.Tanh}, 1)
+	snap, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.RegisterModel(snap); err != nil {
+		t.Fatal(err)
+	}
+	return lf, make([]int64, 30), make([]int64, 1)
+}
+
+// TestQuerySteadyStateZeroAllocs is the zero-allocation contract for the
+// fast path: after warmup (flow-cache entry + arena sized), QueryModel must
+// perform no heap allocations per call.
+func TestQuerySteadyStateZeroAllocs(t *testing.T) {
+	lf, in, out := queryFixture(t)
+	if err := lf.QueryModel(1, in, out); err != nil { // warm cache + arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := lf.QueryModel(1, in, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state QueryModel allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestQueryModelBatchZeroAllocs extends the contract to the strided batch
+// entry point used by the experiment harness's inner loops.
+func TestQueryModelBatchZeroAllocs(t *testing.T) {
+	lf, _, _ := queryFixture(t)
+	const n = 64
+	ins := make([]int64, n*30)
+	outs := make([]int64, n*1)
+	if err := lf.QueryModelBatch(1, ins, outs, n); err != nil { // warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := lf.QueryModelBatch(1, ins, outs, n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state QueryModelBatch allocates %.1f allocs/op, want 0", allocs)
+	}
+}

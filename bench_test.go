@@ -105,6 +105,50 @@ func BenchmarkFig17(b *testing.B) {
 	}
 }
 
+// BenchmarkQuerySteadyState measures the steady-state cost of lf_query_model
+// on a cached flow and enforces the zero-allocation contract with
+// testing.AllocsPerRun (a failed bench run, not just a regressed number —
+// see also alloc_test.go for the plain-test variant).
+func BenchmarkQuerySteadyState(b *testing.B) {
+	lf, in, out := queryFixture(b)
+	if err := lf.QueryModel(1, in, out); err != nil {
+		b.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := lf.QueryModel(1, in, out); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("steady-state QueryModel allocates %.1f allocs/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lf.QueryModel(1, in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryModelBatch measures the strided batch entry point at batch
+// 64; allocs/op must stay 0 (one arena per core, reused across calls).
+func BenchmarkQueryModelBatch(b *testing.B) {
+	lf, _, _ := queryFixture(b)
+	const n = 64
+	ins := make([]int64, n*30)
+	outs := make([]int64, n*1)
+	if err := lf.QueryModelBatch(1, ins, outs, n); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lf.QueryModelBatch(1, ins, outs, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1API measures the core API's hot entry point, lf_query_model
 // through the flow cache — the per-inference cost a datapath function pays.
 func BenchmarkTable1API(b *testing.B) {

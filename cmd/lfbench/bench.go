@@ -1,0 +1,248 @@
+package main
+
+// Benchmark-regression mode: measure ns/op and allocs/op for every
+// experiment plus the query-path micro-benchmarks, snapshot to JSON
+// (-bench-out) and compare a fresh measurement against a committed snapshot
+// (-bench-baseline). ns/op is host-dependent, so cross-machine gates (CI)
+// pass -bench-allocs-only and compare only allocation counts, which are
+// deterministic for deterministic code.
+//
+// Measurements run serially even when -parallel is given: allocation
+// accounting via runtime.ReadMemStats is process-global and would attribute
+// a concurrent job's garbage to whichever benchmark is being timed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	liteflow "github.com/liteflow-sim/liteflow"
+	"github.com/liteflow-sim/liteflow/internal/experiments"
+)
+
+// benchEntry is one measured benchmark in a snapshot.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchSnapshot is the JSON document written by -bench-out. Scale and Seed
+// pin the workload shape; comparing snapshots of different shapes is refused.
+type benchSnapshot struct {
+	Scale   float64      `json:"scale"`
+	Seed    int64        `json:"seed"`
+	Entries []benchEntry `json:"entries"`
+}
+
+type benchModeOptions struct {
+	exp        string // one experiment ID, or "" for all
+	scale      float64
+	seed       int64
+	out        string
+	baseline   string
+	tolerance  float64
+	allocsOnly bool
+}
+
+func runBenchMode(o benchModeOptions, stdout, stderr io.Writer) int {
+	var runners []experiments.Runner
+	if o.exp != "" {
+		r, ok := experiments.ByID(o.exp)
+		if !ok {
+			fmt.Fprintf(stderr, "lfbench: unknown experiment %q (try -list)\n", o.exp)
+			return 2
+		}
+		runners = []experiments.Runner{r}
+	} else {
+		runners = experiments.All()
+	}
+
+	snap := benchSnapshot{Scale: o.scale, Seed: o.seed}
+	cfg := experiments.Config{Scale: o.scale, Seed: o.seed}
+	for _, r := range runners {
+		run := r.Run
+		snap.Entries = append(snap.Entries, measure("exp/"+r.ID, func(n int) {
+			for i := 0; i < n; i++ {
+				run(cfg)
+			}
+		}))
+		fmt.Fprintf(stderr, "(measured exp/%s)\n", r.ID)
+	}
+	snap.Entries = append(snap.Entries, measureQueryMicrobenches()...)
+	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Name < snap.Entries[j].Name })
+
+	for _, e := range snap.Entries {
+		fmt.Fprintf(stdout, "%-28s %14.0f ns/op %8d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+
+	if o.out != "" {
+		if err := writeSnapshot(o.out, snap); err != nil {
+			fmt.Fprintln(stderr, "lfbench:", err)
+			return 1
+		}
+	}
+	if o.baseline != "" {
+		base, err := readSnapshot(o.baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "lfbench:", err)
+			return 1
+		}
+		problems := compareSnapshots(base, snap, o.tolerance, o.allocsOnly)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(stderr, "lfbench: REGRESSION:", p)
+			}
+			return 1
+		}
+		mode := "ns/op + allocs/op"
+		if o.allocsOnly {
+			mode = "allocs/op only"
+		}
+		fmt.Fprintf(stdout, "bench comparison OK: %d entries within %.0f%% of %s (%s)\n",
+			len(snap.Entries), o.tolerance*100, o.baseline, mode)
+	}
+	return 0
+}
+
+// measure times fn(n) with increasing n until the run is long enough to
+// trust (≥ 100ms or a single iteration already exceeding it), reporting
+// per-iteration wall time and heap allocations. Experiments take seconds, so
+// they settle at n=1; micro-benchmarks scale up.
+func measure(name string, fn func(n int)) benchEntry {
+	const minTime = 100 * time.Millisecond
+	fn(1) // warm caches and lazy initialization outside the timed region
+	n := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		fn(n)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		e := benchEntry{
+			Name:        name,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+		}
+		if elapsed >= minTime || n >= 1<<24 {
+			return e
+		}
+		// Grow toward minTime with headroom, at least doubling.
+		grow := 2 * n
+		if elapsed > 0 {
+			if target := int(float64(n) * 1.5 * float64(minTime) / float64(elapsed)); target > grow {
+				grow = target
+			}
+		}
+		n = grow
+	}
+}
+
+// measureQueryMicrobenches measures the datapath hot entry points:
+// lf_query_model through the flow cache, and the batched variant, per the
+// zero-allocation guarantee asserted in alloc_test.go.
+func measureQueryMicrobenches() []benchEntry {
+	lf, in, out := queryRig()
+	single := measure("micro/query_steady_state", func(n int) {
+		for i := 0; i < n; i++ {
+			if err := lf.QueryModel(1, in, out); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	const batch = 64
+	lf2, in2, out2 := queryRig()
+	ins := make([]int64, len(in2)*batch)
+	outs := make([]int64, len(out2)*batch)
+	batched := measure("micro/query_model_batch64", func(n int) {
+		for i := 0; i < n; i++ {
+			if err := lf2.QueryModelBatch(1, ins, outs, batch); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return []benchEntry{single, batched}
+}
+
+// queryRig builds the same Aurora-shaped core module bench_test.go uses.
+func queryRig() (*liteflow.Core, []int64, []int64) {
+	eng := liteflow.NewEngine()
+	cfg := liteflow.DefaultConfig()
+	cfg.FlowCacheTimeout = 0
+	lf := liteflow.New(eng, nil, liteflow.DefaultCosts(), cfg)
+	net := liteflow.NewNetwork([]int{30, 32, 16, 1},
+		[]liteflow.Activation{liteflow.Tanh, liteflow.Tanh, liteflow.Tanh}, 1)
+	snap, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "aurora")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := lf.RegisterModel(snap); err != nil {
+		panic(err)
+	}
+	return lf, make([]int64, 30), make([]int64, 1)
+}
+
+func writeSnapshot(path string, s benchSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readSnapshot(path string) (benchSnapshot, error) {
+	var s benchSnapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	err = json.Unmarshal(b, &s)
+	return s, err
+}
+
+// compareSnapshots returns one message per regression of cur against base.
+// Entries present only in cur (new benchmarks) pass; entries present only in
+// base (a benchmark disappeared) fail, so a snapshot cannot go stale
+// silently.
+func compareSnapshots(base, cur benchSnapshot, tol float64, allocsOnly bool) []string {
+	var problems []string
+	if base.Scale != cur.Scale || base.Seed != cur.Seed {
+		problems = append(problems, fmt.Sprintf(
+			"workload shape mismatch: baseline scale=%g seed=%d, current scale=%g seed=%d (re-run with matching -scale/-seed)",
+			base.Scale, base.Seed, cur.Scale, cur.Seed))
+		return problems
+	}
+	curByName := make(map[string]benchEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curByName[e.Name] = e
+	}
+	for _, b := range base.Entries {
+		c, ok := curByName[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol)+0.5 {
+			problems = append(problems, fmt.Sprintf("%s: allocs/op %d -> %d (>+%.0f%%)",
+				b.Name, b.AllocsPerOp, c.AllocsPerOp, tol*100))
+		}
+		if !allocsOnly && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			problems = append(problems, fmt.Sprintf("%s: ns/op %.0f -> %.0f (>+%.0f%%)",
+				b.Name, b.NsPerOp, c.NsPerOp, tol*100))
+		}
+	}
+	return problems
+}

@@ -8,10 +8,24 @@
 //	lfbench -exp fig11            # run one experiment at full scale
 //	lfbench -exp fig11 -scale 0.2 # faster, smaller run
 //	lfbench -all                  # regenerate everything (EXPERIMENTS.md data)
+//	lfbench -all -parallel 4      # same bytes, bounded worker pool
+//	lfbench -exp fig11 -reps 5    # median across 5 seeds, err = std
 //
-// With -trace/-metrics-out, the run's telemetry (all experiments share one
-// registry and tracer) is exported to Chrome trace-event JSON / Prometheus
-// text after the experiments finish.
+// Reports and telemetry are deterministic: for a fixed -seed/-scale the
+// stdout bytes and -trace/-metrics-out exports are identical regardless of
+// -parallel. Wall-clock timing (median/p95 across reps) goes to stderr so
+// comparable output stays comparable.
+//
+// Regression tracking:
+//
+//	lfbench -bench-out BENCH_$(git rev-parse --short HEAD).json -scale 0.05
+//	lfbench -bench-baseline BENCH_baseline.json -scale 0.05
+//
+// -bench-out snapshots ns/op and allocs/op per experiment (plus the
+// query-path micro-benchmarks) to JSON; -bench-baseline re-measures and
+// fails (exit 1) when any entry regresses more than -bench-tolerance.
+// -bench-allocs-only restricts the comparison to allocation counts, the
+// machine-independent half of the snapshot — that is what CI gates on.
 package main
 
 import (
@@ -19,7 +33,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"github.com/liteflow-sim/liteflow/internal/experiments"
 	"github.com/liteflow-sim/liteflow/internal/obs"
@@ -37,12 +50,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		all        = fs.Bool("all", false, "run every experiment in paper order")
 		list       = fs.Bool("list", false, "list available experiments")
 		scale      = fs.Float64("scale", 1.0, "duration/size scale factor (1.0 = paper shape)")
-		seed       = fs.Int64("seed", 1, "random seed")
+		seed       = fs.Int64("seed", 1, "random seed (rep r runs at seed+r)")
+		parallel   = fs.Int("parallel", 1, "worker-pool size for independent experiments/reps")
+		reps       = fs.Int("reps", 1, "repetitions per experiment; results aggregate to the per-point median")
 		trace      = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		metricsOut = fs.String("metrics-out", "", "write Prometheus text metrics to this file")
+
+		benchOut       = fs.String("bench-out", "", "measure ns/op + allocs/op and write a JSON snapshot to this file")
+		benchBaseline  = fs.String("bench-baseline", "", "compare a fresh measurement against this JSON snapshot; exit 1 on regression")
+		benchTolerance = fs.Float64("bench-tolerance", 0.15, "fractional regression tolerance for -bench-baseline")
+		benchAllocs    = fs.Bool("bench-allocs-only", false, "compare only allocs/op (machine-independent; what CI gates on)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *benchOut != "" || *benchBaseline != "" {
+		return runBenchMode(benchModeOptions{
+			exp: *exp, scale: *scale, seed: *seed,
+			out: *benchOut, baseline: *benchBaseline,
+			tolerance: *benchTolerance, allocsOnly: *benchAllocs,
+		}, stdout, stderr)
 	}
 
 	var reg *obs.Registry
@@ -53,30 +81,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracer = obs.NewTracer(0)
 		cfg.Obs = obs.New(reg, tracer)
 	}
+	opts := experiments.SuiteOptions{Parallel: *parallel, Reps: *reps}
 
+	var runners []experiments.Runner
 	switch {
 	case *list:
 		for _, r := range experiments.All() {
 			fmt.Fprintf(stdout, "%-8s %s\n", r.ID, r.Title)
 		}
+		return 0
 	case *all:
-		for _, r := range experiments.All() {
-			start := time.Now()
-			res := r.Run(cfg)
-			fmt.Fprintln(stdout, res.String())
-			fmt.Fprintf(stdout, "(%s completed in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
-		}
+		runners = experiments.All()
 	case *exp != "":
 		r, ok := experiments.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(stderr, "lfbench: unknown experiment %q (try -list)\n", *exp)
 			return 2
 		}
-		res := r.Run(cfg)
-		fmt.Fprintln(stdout, res.String())
+		runners = []experiments.Runner{r}
 	default:
 		fs.Usage()
 		return 2
+	}
+
+	for _, sr := range experiments.RunSuite(runners, cfg, opts) {
+		fmt.Fprintln(stdout, sr.Result.String())
+		// Wall-clock is host-dependent; keep it off stdout so report bytes
+		// compare across -parallel settings and machines.
+		if len(sr.Wall) > 1 {
+			fmt.Fprintf(stderr, "(%s: median %.1fs, p95 %.1fs over %d reps)\n",
+				sr.Runner.ID, sr.WallQuantile(0.5).Seconds(), sr.WallQuantile(0.95).Seconds(), len(sr.Wall))
+		} else {
+			fmt.Fprintf(stderr, "(%s completed in %.1fs)\n", sr.Runner.ID, sr.WallQuantile(0.5).Seconds())
+		}
 	}
 
 	if err := writeExports(*trace, *metricsOut, reg, tracer); err != nil {

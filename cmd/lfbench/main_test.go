@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -35,5 +39,128 @@ func TestLfbenchNoArgs(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(nil, &stdout, &stderr); code != 2 {
 		t.Fatalf("no-arg run exited %d, want 2", code)
+	}
+}
+
+// TestLfbenchParallelMatchesSerial asserts the CLI contract documented in the
+// package comment: for a fixed -seed/-scale, stdout and the telemetry exports
+// are byte-identical regardless of -parallel, including under -reps.
+func TestLfbenchParallelMatchesSerial(t *testing.T) {
+	runOnce := func(parallel int) (report string, trace, prom []byte) {
+		dir := t.TempDir()
+		tracePath := filepath.Join(dir, "trace.json")
+		promPath := filepath.Join(dir, "metrics.prom")
+		var stdout, stderr bytes.Buffer
+		args := []string{"-exp", "fig14", "-scale", "0.05", "-seed", "1",
+			"-reps", "2", "-parallel", strconv.Itoa(parallel),
+			"-trace", tracePath, "-metrics-out", promPath}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run -parallel %d exited %d\nstderr: %s", parallel, code, stderr.String())
+		}
+		tb, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := os.ReadFile(promPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String(), tb, pb
+	}
+	serialRep, serialTrace, serialProm := runOnce(1)
+	parRep, parTrace, parProm := runOnce(4)
+	if serialRep == "" {
+		t.Fatal("empty report")
+	}
+	if serialRep != parRep {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 4:\n--- serial\n%s\n--- parallel\n%s", serialRep, parRep)
+	}
+	if !bytes.Equal(serialTrace, parTrace) {
+		t.Errorf("trace export differs between -parallel 1 and -parallel 4 (%d vs %d bytes)", len(serialTrace), len(parTrace))
+	}
+	if !bytes.Equal(serialProm, parProm) {
+		t.Errorf("metrics export differs between -parallel 1 and -parallel 4")
+	}
+	if !strings.Contains(serialRep, "aggregated over 2 reps") {
+		t.Errorf("report missing reps aggregation note:\n%s", serialRep)
+	}
+}
+
+// TestLfbenchBenchSnapshotRoundTrip drives the regression-tracking mode end
+// to end: snapshot, clean comparison, injected regression, shape mismatch.
+func TestLfbenchBenchSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "BENCH_test.json")
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-exp", "dummy", "-scale", "0.05", "-bench-out", snapPath}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("-bench-out exited %d\nstderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"exp/dummy", "micro/query_steady_state", "micro/query_model_batch64"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("bench table missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Scale != 0.05 || len(snap.Entries) != 3 {
+		t.Fatalf("snapshot shape: scale=%g entries=%d, want 0.05/3", snap.Scale, len(snap.Entries))
+	}
+	for _, e := range snap.Entries {
+		if strings.HasPrefix(e.Name, "micro/") && e.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op in snapshot, want 0", e.Name, e.AllocsPerOp)
+		}
+	}
+
+	// Same workload against its own snapshot must pass (allocs are exact).
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-exp", "dummy", "-scale", "0.05", "-bench-baseline", snapPath, "-bench-allocs-only"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean -bench-baseline exited %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "bench comparison OK") {
+		t.Errorf("missing OK line:\n%s", stdout.String())
+	}
+
+	// A baseline that promises fewer allocations must trip the gate.
+	tampered := snap
+	tampered.Entries = append([]benchEntry(nil), snap.Entries...)
+	for i := range tampered.Entries {
+		if strings.HasPrefix(tampered.Entries[i].Name, "exp/") {
+			tampered.Entries[i].AllocsPerOp = 0
+		}
+	}
+	tamperedPath := filepath.Join(dir, "BENCH_tampered.json")
+	if err := writeSnapshot(tamperedPath, tampered); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-exp", "dummy", "-scale", "0.05", "-bench-baseline", tamperedPath, "-bench-allocs-only"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed -bench-baseline exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION diagnostic:\n%s", stderr.String())
+	}
+
+	// Comparing across workload shapes is refused, not silently tolerated.
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-exp", "dummy", "-scale", "0.1", "-bench-baseline", snapPath, "-bench-allocs-only"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("shape-mismatch -bench-baseline exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "shape mismatch") {
+		t.Errorf("missing shape-mismatch diagnostic:\n%s", stderr.String())
 	}
 }

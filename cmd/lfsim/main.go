@@ -17,11 +17,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/liteflow-sim/liteflow/internal/cc"
@@ -35,6 +37,7 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/quant"
+	"github.com/liteflow-sim/liteflow/internal/stats"
 	"github.com/liteflow-sim/liteflow/internal/tcp"
 	"github.com/liteflow-sim/liteflow/internal/topo"
 )
@@ -50,6 +53,9 @@ type options struct {
 	adapt     bool
 	batchT    time.Duration
 	pretrain  int
+	seed      int64
+	reps      int
+	parallel  int
 
 	faultProfile string
 	faultSeed    int64
@@ -72,6 +78,9 @@ func main() {
 	flag.BoolVar(&o.adapt, "adapt", false, "lf-* schemes: wire the userspace slow path (netlink batching + service)")
 	flag.DurationVar(&o.batchT, "batch-interval", 100*time.Millisecond, "slow-path batch delivery interval T (with -adapt)")
 	flag.IntVar(&o.pretrain, "pretrain", 400, "policy pretraining iterations for NN schemes")
+	flag.Int64Var(&o.seed, "seed", 2, "base random seed; rep r runs at seed+r (and fault-seed+r)")
+	flag.IntVar(&o.reps, "reps", 1, "repetitions of the scenario; reports median/p95 aggregate goodput")
+	flag.IntVar(&o.parallel, "parallel", 1, "worker-pool size for -reps (each rep owns a private engine)")
 	flag.StringVar(&o.faultProfile, "fault-profile", "none", "fault injection profile: none | netlink | slowpath | chaos")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
 	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON to this file")
@@ -118,7 +127,79 @@ func (b *sampledBackend) Query(state []float64, reply func(action float64)) {
 	})
 }
 
+// run dispatches between the single-run path and the multi-rep harness. Rep
+// r re-runs the identical scenario with seed+r (and fault-seed+r), each rep
+// on a private engine, optionally across a bounded worker pool; per-rep
+// reports print in rep order followed by a median/p95 aggregate-goodput
+// summary. Wall-clock timing goes to stderr.
 func run(o options, stdout, stderr io.Writer) error {
+	reps := o.reps
+	if reps < 1 {
+		reps = 1
+	}
+	if reps == 1 {
+		_, err := runOnce(o, 0, stdout, stderr)
+		return err
+	}
+	if o.trace != "" || o.traceJSONL != "" || o.metricsOut != "" || o.listen != "" {
+		return fmt.Errorf("-trace/-trace-jsonl/-metrics-out/-listen export a single run's telemetry; use -reps 1")
+	}
+
+	workers := o.parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > reps {
+		workers = reps
+	}
+	type repOut struct {
+		stdout, stderr bytes.Buffer
+		goodput        float64
+		wall           time.Duration
+		err            error
+	}
+	outs := make([]repOut, reps)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				start := time.Now()
+				outs[r].goodput, outs[r].err = runOnce(o, r, &outs[r].stdout, &outs[r].stderr)
+				outs[r].wall = time.Since(start)
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+
+	goodput := stats.NewDist(reps)
+	wall := stats.NewDist(reps)
+	for r := range outs {
+		fmt.Fprintf(stdout, "--- rep %d (seed %d) ---\n", r, o.seed+int64(r))
+		io.Copy(stdout, &outs[r].stdout)
+		io.Copy(stderr, &outs[r].stderr)
+		if outs[r].err != nil {
+			return fmt.Errorf("rep %d: %w", r, outs[r].err)
+		}
+		goodput.Add(outs[r].goodput)
+		wall.Add(float64(outs[r].wall))
+	}
+	fmt.Fprintf(stdout, "reps summary: aggregate goodput median %.3f Gbps, p95 %.3f Gbps over %d reps (seeds %d..%d)\n",
+		goodput.Median(), goodput.Quantile(0.95), reps, o.seed, o.seed+int64(reps-1))
+	fmt.Fprintf(stderr, "(wall: median %.1fs, p95 %.1fs)\n",
+		time.Duration(wall.Median()).Seconds(), time.Duration(wall.Quantile(0.95)).Seconds())
+	return nil
+}
+
+// runOnce executes one scenario instance. rep offsets the pretraining and
+// fault seeds; the returned goodput is the aggregate across flows in Gbps.
+func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 	wantTelemetry := o.trace != "" || o.traceJSONL != "" || o.metricsOut != "" || o.listen != ""
 	var reg *obs.Registry
 	var tracer *obs.Tracer
@@ -131,11 +212,11 @@ func run(o options, stdout, stderr io.Writer) error {
 
 	prof, ok := fault.ByName(o.faultProfile)
 	if !ok {
-		return fmt.Errorf("unknown fault profile %q (want none|netlink|slowpath|chaos)", o.faultProfile)
+		return 0, fmt.Errorf("unknown fault profile %q (want none|netlink|slowpath|chaos)", o.faultProfile)
 	}
 	var inj *fault.Injector
 	if prof.Active() {
-		inj = fault.New(prof, o.faultSeed, sc)
+		inj = fault.New(prof, o.faultSeed+int64(rep), sc)
 	}
 
 	eng := netsim.NewEngine()
@@ -179,7 +260,7 @@ func run(o options, stdout, stderr io.Writer) error {
 			net = cc.NewMOCCNet(1)
 		}
 		fmt.Fprintln(stderr, "pretraining policy network…")
-		cc.Pretrain(net, o.pretrain, 2)
+		cc.Pretrain(net, o.pretrain, o.seed+int64(rep))
 		policy = cc.NewNNPolicy(net)
 		macs = net.MACs()
 		if isLF {
@@ -197,10 +278,10 @@ func run(o options, stdout, stderr io.Writer) error {
 			lf = core.NewCore(eng, sender.CPU, costs, cfg, coreOpts...)
 			mod, err := codegen.Build(quant.Quantize(net, cfg.Quant), "model")
 			if err != nil {
-				return err
+				return 0, err
 			}
 			if _, err := lf.RegisterModel(mod); err != nil {
-				return err
+				return 0, err
 			}
 			if o.adapt {
 				ch = netlink.NewChannel(eng, sender.CPU, costs, nil,
@@ -212,7 +293,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		}
 	}
 	if o.adapt && !isLF {
-		return fmt.Errorf("-adapt requires an lf-* scheme, got %q", o.scheme)
+		return 0, fmt.Errorf("-adapt requires an lf-* scheme, got %q", o.scheme)
 	}
 
 	var ctrls []*cc.MIController
@@ -250,7 +331,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		f := netsim.FlowID(i + 1)
 		s := tcp.NewSender(sender, f, receiver.ID, 0, makeCtrl(f))
 		if schemeErr != nil {
-			return schemeErr
+			return 0, schemeErr
 		}
 		rcv := tcp.NewReceiver(receiver, f, sender.ID)
 		rcv.OnDeliver = func(n int, now netsim.Time) {
@@ -309,13 +390,13 @@ func run(o options, stdout, stderr io.Writer) error {
 	}
 
 	if err := writeExports(o, reg, tracer); err != nil {
-		return err
+		return 0, err
 	}
 	if o.listen != "" {
 		fmt.Fprintf(stderr, "serving telemetry on %s (/metrics, /debug/trace) — ctrl-c to stop\n", o.listen)
-		return http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer))
+		return agg, http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer))
 	}
-	return nil
+	return agg, nil
 }
 
 // writeExports flushes the run's telemetry to the requested files.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -105,6 +106,65 @@ func TestLfsimSmoke(t *testing.T) {
 		if !strings.Contains(string(prom), want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// repsOpts is a short lf-aurora run without the slow path, repeated 3 times:
+// each rep pretrains at seed+rep, so the reps genuinely differ and the
+// median/p95 summary aggregates distinct values.
+func repsOpts(parallel int) options {
+	return options{
+		scheme:    "lf-aurora",
+		flows:     1,
+		duration:  100 * time.Millisecond,
+		warmup:    50 * time.Millisecond,
+		interval:  10 * time.Millisecond,
+		congested: true,
+		pretrain:  40,
+		seed:      2,
+		reps:      3,
+		parallel:  parallel,
+	}
+}
+
+// TestLfsimRepsParallelMatchesSerial: the multi-rep harness must print the
+// same bytes whether reps run on one worker or several — per-rep sections in
+// rep order plus the aggregate summary.
+func TestLfsimRepsParallelMatchesSerial(t *testing.T) {
+	runReps := func(parallel int) string {
+		var stdout, stderr bytes.Buffer
+		if err := run(repsOpts(parallel), &stdout, &stderr); err != nil {
+			t.Fatalf("run -parallel %d: %v\nstderr: %s", parallel, err, stderr.String())
+		}
+		return stdout.String()
+	}
+	serial := runReps(1)
+	parallel := runReps(3)
+	if serial != parallel {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 3:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+	}
+	for rep := 0; rep < 3; rep++ {
+		header := "--- rep " + strconv.Itoa(rep) + " (seed " + strconv.Itoa(2+rep) + ") ---"
+		if !strings.Contains(serial, header) {
+			t.Errorf("report missing %q", header)
+		}
+	}
+	if !strings.Contains(serial, "reps summary: aggregate goodput median") ||
+		!strings.Contains(serial, "over 3 reps (seeds 2..4)") {
+		t.Errorf("report missing reps summary:\n%s", serial)
+	}
+}
+
+// TestLfsimRepsRejectTelemetryExports: the export flags describe one run's
+// telemetry; combining them with -reps must fail loudly instead of silently
+// writing one arbitrary rep.
+func TestLfsimRepsRejectTelemetryExports(t *testing.T) {
+	o := repsOpts(1)
+	o.trace = filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	err := run(o, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-reps 1") {
+		t.Fatalf("expected export/reps conflict error, got %v", err)
 	}
 }
 

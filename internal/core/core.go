@@ -119,6 +119,7 @@ type coreMetrics struct {
 	degraded    *obs.Counter
 	recovered   *obs.Counter
 	stallNS     *obs.Histogram
+	queryNS     *obs.Histogram
 }
 
 func newCoreMetrics(sc obs.Scope) coreMetrics {
@@ -134,6 +135,7 @@ func newCoreMetrics(sc obs.Scope) coreMetrics {
 		degraded:    sc.Counter("liteflow_core_degraded_total", "watchdog degradations to the last-good snapshot after slow-path silence"),
 		recovered:   sc.Counter("liteflow_core_recovered_total", "recoveries from degraded mode after the slow path resumed"),
 		stallNS:     sc.Histogram("liteflow_core_stall_ns", "per-query stall caused by blocking installs", obs.DurationBuckets()),
+		queryNS:     sc.Histogram("liteflow_query_ns", "modeled kernel fast-path cost of one lf_query_model inference", obs.QueryBuckets()),
 	}
 }
 
@@ -167,6 +169,15 @@ type Core struct {
 	sc       obs.Scope
 	met      coreMetrics
 	sweeping bool
+
+	// arena is the core's private inference scratch (paper: per-core
+	// execution state so snapshots stay immutable and shareable). It grows
+	// when a wider model is installed and is reused by every query, so the
+	// steady-state fast path performs zero heap allocations.
+	arena quant.Arena
+	// flowScratch backs sortedCachedFlows so bulk drops and sweeps do not
+	// allocate per tick.
+	flowScratch []netsim.FlowID
 
 	// Slow-path watchdog state (see NewCore's opt.WithWatchdog): when armed
 	// and the service stays silent past wd.Window, the core degrades to the
@@ -240,13 +251,17 @@ func (c *Core) SetFlowCache(enabled bool) {
 
 // sortedCachedFlows returns the cached flow IDs in ascending order. Bulk
 // drops must not depend on map iteration order: eviction telemetry would
-// otherwise differ between same-seed runs.
+// otherwise differ between same-seed runs (the determinism invariant,
+// DESIGN.md §4d). The returned slice aliases a core-owned scratch buffer —
+// valid until the next call — so periodic sweeps allocate only when the
+// cache has grown past every previous high-water mark.
 func (c *Core) sortedCachedFlows() []netsim.FlowID {
-	flows := make([]netsim.FlowID, 0, len(c.cache))
+	flows := c.flowScratch[:0]
 	for f := range c.cache {
 		flows = append(flows, f)
 	}
 	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	c.flowScratch = flows
 	return flows
 }
 
@@ -396,16 +411,49 @@ func (c *Core) IOModules() int { return len(c.ios) }
 // QueryModel is lf_query_model, the unified inference interface: it resolves
 // the snapshot for the flow through the router (honoring the flow cache),
 // charges the kernel inference cost, and runs integer inference in to out.
+// Steady-state queries (flow already cached) perform zero heap allocations.
 func (c *Core) QueryModel(flow netsim.FlowID, in, out []int64) error {
 	m := c.lookup(flow)
 	if m == nil {
 		return ErrNoModel
 	}
 	c.met.queries.Inc()
+	cost := ksim.InferCost(c.Costs.KernelInferPerMAC, m.prog.MACs())
+	c.met.queryNS.Observe(float64(cost))
 	if c.CPU != nil {
-		c.CPU.Charge(ksim.Kernel, ksim.InferCost(c.Costs.KernelInferPerMAC, m.prog.MACs()))
+		c.CPU.Charge(ksim.Kernel, cost)
 	}
-	m.prog.Infer(in, out)
+	m.prog.InferWith(&c.arena, in, out)
+	return nil
+}
+
+// QueryModelBatch runs n inferences against the flow's pinned snapshot in one
+// router transaction: one flow-cache lookup, one CPU charge of n×InferCost,
+// and densely packed rows (in stride InputSize, out stride OutputSize).
+// Results are identical to n QueryModel calls; the batch form exists for
+// datapath functions that score many candidates per decision — per-packet
+// load balancing over k paths, flow-scheduling sweeps — where per-query
+// router overhead would dominate. Zero heap allocations in steady state.
+func (c *Core) QueryModelBatch(flow netsim.FlowID, in, out []int64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative batch size %d", n)
+	}
+	m := c.lookup(flow)
+	if m == nil {
+		return ErrNoModel
+	}
+	if n == 0 {
+		return nil
+	}
+	c.met.queries.Add(int64(n))
+	cost := ksim.InferCost(c.Costs.KernelInferPerMAC, m.prog.MACs())
+	for q := 0; q < n; q++ {
+		c.met.queryNS.Observe(float64(cost))
+	}
+	if c.CPU != nil {
+		c.CPU.Charge(ksim.Kernel, netsim.Time(n)*cost)
+	}
+	m.prog.InferBatch(&c.arena, in, out, n)
 	return nil
 }
 
@@ -601,10 +649,12 @@ func (b *FlowBackend) query(state []float64, reply func(action float64), stallSt
 		b.in[i] = int64(x * float64(prog.InputScale))
 	}
 	c.met.queries.Inc()
+	cost := ksim.InferCost(b.Core.Costs.KernelInferPerMAC, prog.MACs())
+	c.met.queryNS.Observe(float64(cost))
 	if b.Core.CPU != nil {
-		b.Core.CPU.Charge(ksim.Kernel, ksim.InferCost(b.Core.Costs.KernelInferPerMAC, prog.MACs()))
+		b.Core.CPU.Charge(ksim.Kernel, cost)
 	}
-	prog.Infer(b.in, b.out[:prog.OutputSize()])
+	prog.InferWith(&c.arena, b.in, b.out[:prog.OutputSize()])
 	a := float64(b.out[0]) / float64(prog.OutputScale)
 	if a > 1 {
 		a = 1

@@ -60,7 +60,11 @@ func (a *ackCosted) OnAck(i tcp.AckInfo) {
 	a.CongestionControl.OnAck(i)
 }
 
-// Pretrained policy networks, shared across experiments (deterministic).
+// Pretrained policy networks (deterministic). Pretraining runs once; every
+// caller gets private clones because nn.Network.Forward mutates per-layer
+// activation caches — sharing one instance across the parallel harness's
+// concurrently running experiments would be a data race. The clones carry
+// identical weights, so results are unchanged versus the shared originals.
 var (
 	pretrainOnce sync.Once
 	auroraNet    *nn.Network
@@ -74,7 +78,7 @@ func pretrainedNets() (*nn.Network, *nn.Network) {
 		moccNet = cc.NewMOCCNet(3)
 		cc.Pretrain(moccNet, 400, 4)
 	})
-	return auroraNet, moccNet
+	return auroraNet.Clone(), moccNet.Clone()
 }
 
 // buildLFCore installs a quantized snapshot of net as a LiteFlow core module

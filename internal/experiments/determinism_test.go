@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"github.com/liteflow-sim/liteflow/internal/netsim"
@@ -55,6 +56,66 @@ func TestTelemetryDeterminism(t *testing.T) {
 	if !bytes.Equal(p1, p2) {
 		t.Errorf("Prometheus exports differ between same-seed runs:\n--- run1\n%s\n--- run2\n%s", p1, p2)
 	}
+}
+
+// TestGoldenSuiteSerialVsParallel is the determinism invariant of DESIGN.md
+// §4d, enforced over EVERY registered experiment: the full suite run through
+// the harness with -parallel 4 must produce byte-identical reports AND
+// byte-identical telemetry exports (Prometheus text + Chrome trace) to the
+// serial run. Scale 0.02 keeps the double full-suite run tractable in CI
+// while still executing every experiment's complete code path.
+func TestGoldenSuiteSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite golden run is slow; skipped with -short")
+	}
+	runSuite := func(parallel int) (report string, prom, trace []byte) {
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(0)
+		cfg := Config{Scale: 0.02, Seed: 3, Obs: obs.New(reg, tr)}
+		var b bytes.Buffer
+		for _, sr := range RunSuite(All(), cfg, SuiteOptions{Parallel: parallel}) {
+			b.WriteString(sr.Result.String())
+			b.WriteByte('\n')
+		}
+		var tb bytes.Buffer
+		if err := tr.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), reg.PrometheusText(), tb.Bytes()
+	}
+	serialRep, serialProm, serialTrace := runSuite(1)
+	parRep, parProm, parTrace := runSuite(4)
+
+	if len(serialRep) == 0 || len(serialProm) == 0 || len(serialTrace) == 0 {
+		t.Fatal("empty suite output; golden comparison is vacuous")
+	}
+	if serialRep != parRep {
+		t.Errorf("suite report differs between serial and -parallel 4 runs")
+		diffFirstLine(t, serialRep, parRep)
+	}
+	if !bytes.Equal(serialProm, parProm) {
+		t.Errorf("Prometheus export differs between serial and -parallel 4 runs")
+		diffFirstLine(t, string(serialProm), string(parProm))
+	}
+	if !bytes.Equal(serialTrace, parTrace) {
+		t.Errorf("Chrome trace differs between serial and -parallel 4 runs (%d vs %d bytes)",
+			len(serialTrace), len(parTrace))
+	}
+}
+
+// diffFirstLine logs the first differing line of two texts, so a golden
+// failure names the drifting experiment or metric instead of dumping both
+// multi-thousand-line documents.
+func diffFirstLine(t *testing.T, a, b string) {
+	t.Helper()
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			t.Logf("first difference at line %d:\n  serial:   %q\n  parallel: %q", i+1, al[i], bl[i])
+			return
+		}
+	}
+	t.Logf("outputs differ in length: %d vs %d lines", len(al), len(bl))
 }
 
 // TestSeedSensitivity: different seeds must actually change stochastic

@@ -1,0 +1,122 @@
+package obs
+
+import "fmt"
+
+// This file implements deterministic telemetry folding for the parallel
+// experiment harness: each worker runs with a private Registry and Tracer
+// (the simulation stack itself is single-threaded per engine), and the
+// harness merges them into the caller's exporters in a fixed order — job
+// registration order, never completion order. Because every fold below is
+// order-deterministic, a parallel run exports byte-identical Prometheus text
+// and trace JSON to a serial run of the same jobs.
+
+// Merge folds src into r: counters add, gauges take src's value when src has
+// observed one (last-merged-wins, mirroring last-write-wins of a shared
+// serial registry), histograms add bucket counts and sums. Families or
+// series missing from r are created; a name registered with different kinds
+// panics, exactly like Registry lookups. src is left unchanged; callers must
+// not merge a registry into itself.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil {
+		return
+	}
+	if src == r {
+		panic("obs: cannot merge a registry into itself")
+	}
+	// Snapshot src under its own lock, then fold under r's: the two locks
+	// are never held together in the other order, so this cannot deadlock.
+	src.mu.Lock()
+	fams := make([]*family, 0, len(src.families))
+	for _, f := range src.families {
+		fams = append(fams, f)
+	}
+	src.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range fams {
+		for key, s := range f.series {
+			dst := r.lookupRendered(f.name, f.help, f.kind, key)
+			switch f.kind {
+			case kindCounter:
+				if s.counter != nil {
+					if dst.counter == nil {
+						dst.counter = &Counter{}
+					}
+					dst.counter.Add(s.counter.Value())
+				}
+			case kindGauge:
+				if s.gauge != nil {
+					if dst.gauge == nil {
+						dst.gauge = &Gauge{}
+					}
+					dst.gauge.Set(s.gauge.Value())
+				}
+			case kindHistogram:
+				if s.hist != nil {
+					if dst.hist == nil {
+						bounds, _, _ := s.hist.snapshot()
+						dst.hist = newHistogram(append([]float64(nil), bounds...))
+					}
+					dst.hist.merge(s.hist)
+				}
+			}
+		}
+	}
+}
+
+// lookupRendered is Registry.lookup keyed by an already-rendered label
+// string. Caller holds r.mu.
+func (r *Registry) lookupRendered(name, help string, kind metricKind, key string) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, merged as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// merge folds src's buckets, sum and summary into h. Bucket bounds must
+// match (both sides come from the same instrument definitions).
+func (h *Histogram) merge(src *Histogram) {
+	sBounds, sCounts, sSum := src.snapshot()
+	sSummary := src.Summary()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.bounds) != len(sBounds) {
+		panic(fmt.Sprintf("obs: merging histograms with %d vs %d buckets", len(h.bounds), len(sBounds)))
+	}
+	for i, b := range h.bounds {
+		if b != sBounds[i] {
+			panic("obs: merging histograms with different bucket bounds")
+		}
+	}
+	for i, c := range sCounts {
+		h.counts[i] += c
+	}
+	h.sum += sSum
+	h.summary.Merge(sSummary)
+}
+
+// Merge folds src's events into t in src's emission order, as if each had
+// been emitted against t. Ring eviction applies as usual, so a bounded
+// destination keeps the most recent events of the concatenation.
+func (t *Tracer) Merge(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	if src == t {
+		panic("obs: cannot merge a tracer into itself")
+	}
+	for _, e := range src.Events() {
+		t.Emit(e)
+	}
+}

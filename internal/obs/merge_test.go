@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// populate records the same instrument shapes a worker scope would: a
+// counter, a gauge and a histogram, all with a label distinguishing the
+// logical job.
+func populate(r *Registry, job string, base float64) {
+	c := r.Counter("jobs_total", "jobs", Label{Key: "job", Value: job})
+	c.Add(int64(base))
+	g := r.Gauge("last_value", "last observed", Label{Key: "job", Value: job})
+	g.Set(base * 2)
+	h := r.Histogram("latency_ns", "latency", ExpBuckets(10, 10, 4), Label{Key: "job", Value: job})
+	h.Observe(base)
+	h.Observe(base * 3)
+}
+
+func TestRegistryMergeMatchesSequential(t *testing.T) {
+	// Sequential reference: everything recorded against one registry.
+	seq := NewRegistry()
+	populate(seq, "a", 5)
+	populate(seq, "b", 50)
+	populate(seq, "a", 7) // second batch against the same series
+
+	// Parallel shape: three private registries merged in job order.
+	parts := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+	populate(parts[0], "a", 5)
+	populate(parts[1], "b", 50)
+	populate(parts[2], "a", 7)
+	dst := NewRegistry()
+	for _, p := range parts {
+		dst.Merge(p)
+	}
+
+	want := string(seq.PrometheusText())
+	got := string(dst.PrometheusText())
+	if want != got {
+		t.Fatalf("merged export differs from sequential export:\n--- sequential ---\n%s\n--- merged ---\n%s", want, got)
+	}
+	if !strings.Contains(got, "jobs_total") {
+		t.Fatalf("export missing expected family:\n%s", got)
+	}
+}
+
+func TestRegistryMergeSummaries(t *testing.T) {
+	seq := NewRegistry()
+	hs := seq.Histogram("h", "h", ExpBuckets(1, 2, 8))
+	for i := 1; i <= 10; i++ {
+		hs.Observe(float64(i))
+	}
+
+	a, b := NewRegistry(), NewRegistry()
+	ha := a.Histogram("h", "h", ExpBuckets(1, 2, 8))
+	hb := b.Histogram("h", "h", ExpBuckets(1, 2, 8))
+	for i := 1; i <= 5; i++ {
+		ha.Observe(float64(i))
+	}
+	for i := 6; i <= 10; i++ {
+		hb.Observe(float64(i))
+	}
+	dst := NewRegistry()
+	dst.Merge(a)
+	dst.Merge(b)
+	hd := dst.Histogram("h", "h", ExpBuckets(1, 2, 8))
+
+	if hd.Count() != hs.Count() {
+		t.Fatalf("count: got %d want %d", hd.Count(), hs.Count())
+	}
+	if hd.Sum() != hs.Sum() {
+		t.Fatalf("sum: got %v want %v", hd.Sum(), hs.Sum())
+	}
+	gs, ws := hd.Summary(), hs.Summary()
+	if gs.N() != ws.N() || gs.Min() != ws.Min() || gs.Max() != ws.Max() {
+		t.Fatalf("summary n/min/max: got %v want %v", gs, ws)
+	}
+	if d := gs.Mean() - ws.Mean(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("summary mean: got %v want %v", gs.Mean(), ws.Mean())
+	}
+}
+
+func TestRegistryMergeSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic merging a registry into itself")
+		}
+	}()
+	r := NewRegistry()
+	r.Merge(r)
+}
+
+func TestTracerMergePreservesOrder(t *testing.T) {
+	seq := NewTracer(16)
+	seq.Emit(Event{Name: "e1"})
+	seq.Emit(Event{Name: "e2"})
+	seq.Emit(Event{Name: "e3"})
+
+	a, b := NewTracer(16), NewTracer(16)
+	a.Emit(Event{Name: "e1"})
+	b.Emit(Event{Name: "e2"})
+	b.Emit(Event{Name: "e3"})
+	dst := NewTracer(16)
+	dst.Merge(a)
+	dst.Merge(b)
+
+	want, got := seq.Events(), dst.Events()
+	if len(want) != len(got) {
+		t.Fatalf("event count: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Name != got[i].Name {
+			t.Fatalf("event %d: got %q want %q", i, got[i].Name, want[i].Name)
+		}
+	}
+}

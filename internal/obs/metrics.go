@@ -167,6 +167,11 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // histograms: 1 µs … 10 s in decades.
 func DurationBuckets() []float64 { return ExpBuckets(1e3, 10, 8) }
 
+// QueryBuckets returns the default bounds for per-query inference-cost
+// histograms, whose values sit µs-and-below where DurationBuckets is too
+// coarse: 250 ns … 512 µs, doubling.
+func QueryBuckets() []float64 { return ExpBuckets(250, 2, 12) }
+
 // metricKind discriminates registry families.
 type metricKind int
 

@@ -68,6 +68,16 @@ func (t *Tracer) Emit(e Event) {
 	t.mu.Unlock()
 }
 
+// Cap returns the ring capacity. Private per-job tracers in the parallel
+// experiment harness are sized to the destination's capacity so that
+// merge-after-run retains exactly the events a shared serial tracer would.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
 // Len returns the number of retained events.
 func (t *Tracer) Len() int {
 	if t == nil {

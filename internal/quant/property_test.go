@@ -1,0 +1,277 @@
+package quant
+
+// Property-based and fuzz tests: quantize→execute must track the float
+// forward pass within a configured bound across randomly shaped networks and
+// inputs, the batched/arena execution paths must be bit-identical to the
+// sequential path, and the Taylor-vs-LUT ablation must hold its error
+// characteristics under extreme inputs.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/nn"
+)
+
+// randomNet draws a random fully-connected network: 1–3 hidden layers of
+// width 1–24, any supported activation per layer.
+func randomNet(r *rand.Rand) *nn.Network {
+	depth := 2 + r.Intn(3)
+	sizes := make([]int, depth+1)
+	for i := range sizes {
+		sizes[i] = 1 + r.Intn(24)
+	}
+	acts := make([]nn.Activation, depth)
+	for i := range acts {
+		acts[i] = nn.Activation(r.Intn(4)) // Linear, ReLU, Tanh, Sigmoid
+	}
+	return nn.New(sizes, acts, r.Int63())
+}
+
+// randomInput draws inputs in [-2, 2], the operating range of the CC state
+// vectors the experiments feed through snapshots.
+func randomInput(r *rand.Rand, n int) []float64 {
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = -2 + 4*r.Float64()
+	}
+	return in
+}
+
+// TestQuantErrorBoundRandomNetworks is the central quantization property:
+// for random networks and inputs, the normalized deviation between the
+// float forward pass and the integer program stays within a small bound at
+// the default configuration (the paper's §3.1 claim behind Figure 7).
+func TestQuantErrorBoundRandomNetworks(t *testing.T) {
+	const trials = 60
+	const bound = 0.05 // Fig. 7 shows ~2% at C=1000; leave slack for worst draws
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < trials; trial++ {
+		net := randomNet(r)
+		p := Quantize(net, DefaultConfig())
+		inputs := make([][]float64, 16)
+		for i := range inputs {
+			inputs[i] = randomInput(r, net.InputSize())
+		}
+		if loss := AccuracyLoss(net, p, inputs); loss > bound {
+			t.Errorf("trial %d: normalized quantization loss %.4f exceeds %.2f (net %v)",
+				trial, loss, bound, shape(net))
+		}
+	}
+}
+
+func shape(net *nn.Network) []int {
+	s := []int{net.InputSize()}
+	for _, l := range net.Layers {
+		s = append(s, l.Out)
+	}
+	return s
+}
+
+// TestInferWithMatchesInfer: caller-owned arenas must be bit-identical to
+// the program-owned arena path.
+func TestInferWithMatchesInfer(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		net := randomNet(r)
+		p := Quantize(net, DefaultConfig())
+		a := p.NewArena()
+		in := p.QuantizeInput(randomInput(r, net.InputSize()), nil)
+		want := make([]int64, p.OutputSize())
+		got := make([]int64, p.OutputSize())
+		p.Infer(in, want)
+		p.InferWith(a, in, got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: InferWith[%d] = %d, Infer = %d", trial, i, got[i], want[i])
+			}
+		}
+		// A zero arena must grow on demand and still match.
+		var zero Arena
+		p.InferWith(&zero, in, got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: zero-arena InferWith[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInferBatchMatchesSequential: the strided batch path must equal n
+// sequential Infer calls exactly, for any batch size.
+func TestInferBatchMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		net := randomNet(r)
+		p := Quantize(net, DefaultConfig())
+		is, os := p.InputSize(), p.OutputSize()
+		n := 1 + r.Intn(17)
+		ins := make([]int64, n*is)
+		for q := 0; q < n; q++ {
+			p.QuantizeInput(randomInput(r, is), ins[q*is:(q+1)*is])
+		}
+		want := make([]int64, n*os)
+		for q := 0; q < n; q++ {
+			p.Infer(ins[q*is:(q+1)*is], want[q*os:(q+1)*os])
+		}
+		got := make([]int64, n*os)
+		p.InferBatch(p.NewArena(), ins, got, n)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d (batch %d): out[%d] = %d, sequential = %d", trial, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInferBatchSizePanics: mis-sized batch buffers must panic like the
+// single-shot path, not read out of bounds.
+func TestInferBatchSizePanics(t *testing.T) {
+	net := nn.New([]int{3, 4, 2}, []nn.Activation{nn.Tanh, nn.Linear}, 1)
+	p := Quantize(net, DefaultConfig())
+	a := p.NewArena()
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("short input", func() { p.InferBatch(a, make([]int64, 3), make([]int64, 4), 2) })
+	expectPanic("short output", func() { p.InferBatch(a, make([]int64, 6), make([]int64, 2), 2) })
+}
+
+// TestConcurrentInferWithPrivateArenas: one immutable Program, many
+// goroutines, one arena each — results must equal the serial ones. Run under
+// -race in CI, this is the quant half of the parallel-harness guarantee.
+func TestConcurrentInferWithPrivateArenas(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	net := randomNet(r)
+	p := Quantize(net, DefaultConfig())
+	is, os := p.InputSize(), p.OutputSize()
+	const workers = 8
+	const perWorker = 50
+	ins := make([][]int64, workers*perWorker)
+	want := make([][]int64, len(ins))
+	for i := range ins {
+		ins[i] = p.QuantizeInput(randomInput(r, is), nil)
+		want[i] = make([]int64, os)
+		p.Infer(ins[i], want[i])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := p.NewArena()
+			out := make([]int64, os)
+			for k := 0; k < perWorker; k++ {
+				i := w*perWorker + k
+				p.InferWith(a, ins[i], out)
+				for j := range out {
+					if out[j] != want[i][j] {
+						errs <- "concurrent inference diverged from serial"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestTaylorErrorBoundsExtremeInputs pins the §3.1 ablation under extreme
+// inputs: the LUT stays uniformly accurate (activations saturate, lookup
+// clamps), while the Taylor polynomial's error grows without bound outside
+// its convergence neighborhood.
+func TestTaylorErrorBoundsExtremeInputs(t *testing.T) {
+	for _, act := range []nn.Activation{nn.Tanh, nn.Sigmoid} {
+		lut := LUTApprox(act, 4096, 8, 1<<12)
+		// Far outside the table range the activation is saturated and the
+		// clamped LUT must stay within quantization resolution of it.
+		for _, x := range []float64{-1e12, -500, -8.01, 8.01, 500, 1e12} {
+			if e := math.Abs(lut(x) - act.Apply(x)); e > 1.5e-3 {
+				t.Errorf("%v: LUT error %.5f at extreme x=%g", act, e, x)
+			}
+		}
+		lutMax, _ := ApproxError(act, lut, 50, 4001)
+		coeffs := TaylorCoeffs(act, 9)
+		taylorMax, _ := ApproxError(act, func(x float64) float64 {
+			y, _ := TaylorEval(coeffs, x)
+			return y
+		}, 50, 4001)
+		if lutMax > 1.5e-3 {
+			t.Errorf("%v: LUT max error %.5f over [-50,50], want uniform accuracy", act, lutMax)
+		}
+		if taylorMax < 1e3 {
+			t.Errorf("%v: degree-9 Taylor max error %.3g over [-50,50]; expected divergence ≫ LUT", act, taylorMax)
+		}
+	}
+}
+
+// FuzzQuantizeExecute derives a random network and input from the fuzz
+// corpus and checks the quantize→execute error bound plus batch/sequential
+// agreement — the two properties above, driven by arbitrary bytes.
+func FuzzQuantizeExecute(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(5), uint8(3))
+	f.Add(int64(99), uint8(3), uint8(24), uint8(0))
+	f.Add(int64(-7), uint8(1), uint8(1), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, depthB, widthB, actB uint8) {
+		r := rand.New(rand.NewSource(seed))
+		depth := 1 + int(depthB)%3
+		width := 1 + int(widthB)%16
+		sizes := make([]int, depth+1)
+		for i := range sizes {
+			sizes[i] = 1 + (width+i)%16
+		}
+		acts := make([]nn.Activation, depth)
+		for i := range acts {
+			acts[i] = nn.Activation((int(actB) + i) % 4)
+		}
+		net := nn.New(sizes, acts, seed)
+		p := Quantize(net, DefaultConfig())
+
+		in := randomInput(r, net.InputSize())
+		if loss := AccuracyLoss(net, p, [][]float64{in}); loss > 0.10 {
+			t.Errorf("quantization loss %.4f on %v", loss, sizes)
+		}
+
+		qi := p.QuantizeInput(in, nil)
+		single := make([]int64, p.OutputSize())
+		p.Infer(qi, single)
+		batch := make([]int64, p.OutputSize())
+		p.InferBatch(p.NewArena(), qi, batch, 1)
+		for i := range single {
+			if single[i] != batch[i] {
+				t.Errorf("batch[%d] = %d, single = %d", i, batch[i], single[i])
+			}
+		}
+	})
+}
+
+// FuzzLookupClamp drives raw accumulator values, including extremes, through
+// the LUT: the result must stay within the activation's output range at
+// outScale and never panic.
+func FuzzLookupClamp(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(math.MaxInt64 / 2))
+	f.Add(int64(math.MinInt64 / 2))
+	f.Add(int64(-1))
+	l := &Layer{Act: nn.Tanh, accScale: 1 << 12, outScale: 1 << 12}
+	buildTable(l, nn.Tanh, DefaultConfig())
+	f.Fuzz(func(t *testing.T, acc int64) {
+		v := l.lookup(acc)
+		if v < -(1<<12) || v > 1<<12 {
+			t.Errorf("lookup(%d) = %d outside tanh range at scale %d", acc, v, 1<<12)
+		}
+	})
+}

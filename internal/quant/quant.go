@@ -93,14 +93,47 @@ func (l *Layer) TableData() (table []int64, tblMin, tblMax int64) {
 	return l.table, l.tblMin, l.tblMax
 }
 
-// Program is an executable integer snapshot of a float network.
+// Program is an executable integer snapshot of a float network. The struct
+// itself is immutable after Quantize; all mutable execution state lives in an
+// Arena, so one Program can serve many goroutines concurrently as long as
+// each supplies its own Arena (InferWith/InferBatch). The convenience Infer
+// method uses a Program-owned arena and therefore remains single-threaded.
 type Program struct {
 	Layers      []*Layer
 	InputScale  int64
 	OutputScale int64
 
-	macs    int
-	scratch [2][]int64
+	macs     int
+	maxWidth int
+	arena    Arena // backs Infer; not used by InferWith/InferBatch
+}
+
+// Arena is the reusable scratch an inference needs: two ping-pong activation
+// buffers sized to the widest layer. A zero Arena is valid and grows on first
+// use; after that, steady-state inference performs zero heap allocations
+// (guarded by testing.AllocsPerRun assertions in quant and core). Arenas are
+// not goroutine-safe — use one per worker.
+type Arena struct {
+	bufs [2][]int64
+}
+
+// Reserve grows the arena to serve programs up to the given layer width.
+func (a *Arena) Reserve(width int) {
+	if cap(a.bufs[0]) < width {
+		a.bufs[0] = make([]int64, width)
+		a.bufs[1] = make([]int64, width)
+	}
+}
+
+// MaxWidth returns the widest layer dimension, i.e. the arena width InferWith
+// requires.
+func (p *Program) MaxWidth() int { return p.maxWidth }
+
+// NewArena returns an arena pre-sized for this program.
+func (p *Program) NewArena() *Arena {
+	a := &Arena{}
+	a.Reserve(p.maxWidth)
+	return a
 }
 
 // Quantize converts net into an integer Program under cfg. It panics on
@@ -148,8 +181,8 @@ func Quantize(net *nn.Network, cfg Config) *Program {
 		}
 		inScale = outScale
 	}
-	p.scratch[0] = make([]int64, maxWidth)
-	p.scratch[1] = make([]int64, maxWidth)
+	p.maxWidth = maxWidth
+	p.arena.Reserve(maxWidth)
 	return p
 }
 
@@ -193,17 +226,32 @@ func (p *Program) NumParams() int {
 
 // Infer runs integer-only inference: in must be at InputScale, out receives
 // values at OutputScale. Both slices must match the program's dimensions.
-// The hot path performs no allocation and no floating-point arithmetic.
+// The hot path performs no allocation and no floating-point arithmetic. It
+// uses the Program's internal arena and is therefore not goroutine-safe; use
+// InferWith with a per-worker Arena for concurrent execution.
 func (p *Program) Infer(in, out []int64) {
+	p.InferWith(&p.arena, in, out)
+}
+
+// InferWith is Infer against caller-owned scratch: the same integer-only hot
+// path, but with all mutable state in a, so distinct goroutines can execute
+// one Program concurrently with distinct arenas.
+func (p *Program) InferWith(a *Arena, in, out []int64) {
 	if len(in) != p.InputSize() {
 		panic(fmt.Sprintf("quant: input size %d, want %d", len(in), p.InputSize()))
 	}
 	if len(out) != p.OutputSize() {
 		panic(fmt.Sprintf("quant: output size %d, want %d", len(out), p.OutputSize()))
 	}
+	a.Reserve(p.maxWidth)
+	p.inferInto(a, in, out)
+}
+
+// inferInto is the validated inner loop; a must already cover maxWidth.
+func (p *Program) inferInto(a *Arena, in, out []int64) {
 	cur := in
 	for li, l := range p.Layers {
-		dst := p.scratch[li%2][:l.Out]
+		dst := a.bufs[li%2][:l.Out]
 		if li == len(p.Layers)-1 {
 			dst = out
 		}
@@ -216,6 +264,26 @@ func (p *Program) Infer(in, out []int64) {
 			dst[i] = l.activate(acc)
 		}
 		cur = dst
+	}
+}
+
+// InferBatch runs n inferences over densely packed rows: in holds n
+// consecutive input vectors (stride InputSize) and out receives n consecutive
+// output vectors (stride OutputSize). Results are identical to n sequential
+// Infer calls; the batch form exists so datapath callers amortize the lookup
+// and CPU-accounting overhead per batch instead of per query, and performs
+// zero heap allocations in steady state.
+func (p *Program) InferBatch(a *Arena, in, out []int64, n int) {
+	is, os := p.InputSize(), p.OutputSize()
+	if len(in) != n*is {
+		panic(fmt.Sprintf("quant: batch input len %d, want %d×%d", len(in), n, is))
+	}
+	if len(out) != n*os {
+		panic(fmt.Sprintf("quant: batch output len %d, want %d×%d", len(out), n, os))
+	}
+	a.Reserve(p.maxWidth)
+	for q := 0; q < n; q++ {
+		p.inferInto(a, in[q*is:(q+1)*is], out[q*os:(q+1)*os])
 	}
 }
 

@@ -41,6 +41,30 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Merge folds another summary into s using the parallel Welford combination
+// (Chan et al.), as if every sample of o had been Add-ed to s. Merging in a
+// fixed order is deterministic, which the telemetry merge relies on.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.mean += d * float64(o.n) / float64(n)
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+}
+
 // N returns the number of samples recorded.
 func (s *Summary) N() int { return s.n }
 
