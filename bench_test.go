@@ -149,6 +149,73 @@ func BenchmarkQueryModelBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkLookupManyFlows measures steady-state QueryModel with 100k flows
+// resident in the cache: sharding keeps each map small, and the hit path must
+// stay allocation-free regardless of cache population.
+func BenchmarkLookupManyFlows(b *testing.B) {
+	lf, in, out := queryFixture(b)
+	const resident = 100_000
+	for f := 1; f <= resident; f++ {
+		if err := lf.QueryModel(liteflow.FlowID(f), in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := lf.QueryModel(liteflow.FlowID(resident/2), in, out); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("many-flows lookup allocates %.1f allocs/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lf.QueryModel(liteflow.FlowID(i%resident+1), in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepChurn measures the insert→expire cycle through the
+// incremental sweeper: each op caches a batch of fresh flows and advances
+// virtual time past the cache timeout, so the timing wheel parks, scans and
+// evicts every entry.
+func BenchmarkSweepChurn(b *testing.B) {
+	eng := liteflow.NewEngine()
+	cfg := liteflow.DefaultConfig()
+	cfg.FlowCacheTimeout = liteflow.Millisecond
+	lf := liteflow.New(eng, nil, liteflow.DefaultCosts(), cfg)
+	net := liteflow.NewNetwork([]int{30, 32, 16, 1},
+		[]liteflow.Activation{liteflow.Tanh, liteflow.Tanh, liteflow.Tanh}, 1)
+	snap, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "aurora")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := lf.RegisterModel(snap); err != nil {
+		b.Fatal(err)
+	}
+	in := make([]int64, 30)
+	out := make([]int64, 1)
+	const batch = 256
+	next := liteflow.FlowID(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			if err := lf.QueryModel(next, in, out); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		}
+		eng.RunUntil(eng.Now() + 2*liteflow.Millisecond)
+	}
+	b.StopTimer()
+	lf.StopSweeper()
+	if n := lf.CachedFlows(); n != 0 {
+		b.Fatalf("sweeper left %d flows cached after the timeout horizon", n)
+	}
+}
+
 // BenchmarkTable1API measures the core API's hot entry point, lf_query_model
 // through the flow cache — the per-inference cost a datapath function pays.
 func BenchmarkTable1API(b *testing.B) {

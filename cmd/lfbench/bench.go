@@ -40,13 +40,14 @@ type benchSnapshot struct {
 }
 
 type benchModeOptions struct {
-	exp        string // one experiment ID, or "" for all
-	scale      float64
-	seed       int64
-	out        string
-	baseline   string
-	tolerance  float64
-	allocsOnly bool
+	exp         string // one experiment ID, or "" for all
+	scale       float64
+	seed        int64
+	cacheShards int
+	out         string
+	baseline    string
+	tolerance   float64
+	allocsOnly  bool
 }
 
 func runBenchMode(o benchModeOptions, stdout, stderr io.Writer) int {
@@ -63,7 +64,7 @@ func runBenchMode(o benchModeOptions, stdout, stderr io.Writer) int {
 	}
 
 	snap := benchSnapshot{Scale: o.scale, Seed: o.seed}
-	cfg := experiments.Config{Scale: o.scale, Seed: o.seed}
+	cfg := experiments.Config{Scale: o.scale, Seed: o.seed, CacheShards: o.cacheShards}
 	for _, r := range runners {
 		run := r.Run
 		snap.Entries = append(snap.Entries, measure("exp/"+r.ID, func(n int) {
@@ -74,6 +75,7 @@ func runBenchMode(o benchModeOptions, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "(measured exp/%s)\n", r.ID)
 	}
 	snap.Entries = append(snap.Entries, measureQueryMicrobenches()...)
+	snap.Entries = append(snap.Entries, measureCacheMicrobenches()...)
 	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Name < snap.Entries[j].Name })
 
 	for _, e := range snap.Entries {
@@ -169,6 +171,60 @@ func measureQueryMicrobenches() []benchEntry {
 		}
 	})
 	return []benchEntry{single, batched}
+}
+
+// measureCacheMicrobenches measures the sharded flow cache: steady-state
+// lookups with a large resident population (must stay 0 allocs/op), and the
+// insert→expire churn cycle through the incremental sweeper (allocates by
+// design — the gate tracks the count so the insert path cannot quietly grow).
+func measureCacheMicrobenches() []benchEntry {
+	lf, in, out := queryRig()
+	const resident = 100_000
+	for f := 1; f <= resident; f++ {
+		if err := lf.QueryModel(liteflow.FlowID(f), in, out); err != nil {
+			panic(err)
+		}
+	}
+	next := 0
+	many := measure("micro/lookup_many_flows", func(n int) {
+		for i := 0; i < n; i++ {
+			if err := lf.QueryModel(liteflow.FlowID(next%resident+1), in, out); err != nil {
+				panic(err)
+			}
+			next++
+		}
+	})
+
+	eng := liteflow.NewEngine()
+	cfg := liteflow.DefaultConfig()
+	cfg.FlowCacheTimeout = liteflow.Millisecond
+	lf2 := liteflow.New(eng, nil, liteflow.DefaultCosts(), cfg)
+	net := liteflow.NewNetwork([]int{30, 32, 16, 1},
+		[]liteflow.Activation{liteflow.Tanh, liteflow.Tanh, liteflow.Tanh}, 1)
+	snap, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "aurora")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := lf2.RegisterModel(snap); err != nil {
+		panic(err)
+	}
+	in2 := make([]int64, 30)
+	out2 := make([]int64, 1)
+	const batch = 256
+	flow := liteflow.FlowID(1)
+	churn := measure("micro/sweep_churn", func(n int) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < batch; j++ {
+				if err := lf2.QueryModel(flow, in2, out2); err != nil {
+					panic(err)
+				}
+				flow++
+			}
+			eng.RunUntil(eng.Now() + 2*liteflow.Millisecond)
+		}
+	})
+	lf2.StopSweeper()
+	return []benchEntry{many, churn}
 }
 
 // queryRig builds the same Aurora-shaped core module bench_test.go uses.

@@ -46,15 +46,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lfbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "", "experiment ID to run (see -list)")
-		all        = fs.Bool("all", false, "run every experiment in paper order")
-		list       = fs.Bool("list", false, "list available experiments")
-		scale      = fs.Float64("scale", 1.0, "duration/size scale factor (1.0 = paper shape)")
-		seed       = fs.Int64("seed", 1, "random seed (rep r runs at seed+r)")
-		parallel   = fs.Int("parallel", 1, "worker-pool size for independent experiments/reps")
-		reps       = fs.Int("reps", 1, "repetitions per experiment; results aggregate to the per-point median")
-		trace      = fs.String("trace", "", "write Chrome trace-event JSON to this file")
-		metricsOut = fs.String("metrics-out", "", "write Prometheus text metrics to this file")
+		exp         = fs.String("exp", "", "experiment ID to run (see -list)")
+		all         = fs.Bool("all", false, "run every experiment in paper order")
+		list        = fs.Bool("list", false, "list available experiments")
+		scale       = fs.Float64("scale", 1.0, "duration/size scale factor (1.0 = paper shape)")
+		seed        = fs.Int64("seed", 1, "random seed (rep r runs at seed+r)")
+		parallel    = fs.Int("parallel", 1, "worker-pool size for independent experiments/reps")
+		reps        = fs.Int("reps", 1, "repetitions per experiment; results aggregate to the per-point median")
+		trace       = fs.String("trace", "", "write Chrome trace-event JSON to this file")
+		metricsOut  = fs.String("metrics-out", "", "write Prometheus text metrics to this file")
+		cacheShards = fs.Int("cache-shards", 0, "flow-cache shard count for cache-bound experiments (0 = core default; rounded up to a power of two)")
 
 		benchOut       = fs.String("bench-out", "", "measure ns/op + allocs/op and write a JSON snapshot to this file")
 		benchBaseline  = fs.String("bench-baseline", "", "compare a fresh measurement against this JSON snapshot; exit 1 on regression")
@@ -67,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *benchOut != "" || *benchBaseline != "" {
 		return runBenchMode(benchModeOptions{
-			exp: *exp, scale: *scale, seed: *seed,
+			exp: *exp, scale: *scale, seed: *seed, cacheShards: *cacheShards,
 			out: *benchOut, baseline: *benchBaseline,
 			tolerance: *benchTolerance, allocsOnly: *benchAllocs,
 		}, stdout, stderr)
@@ -75,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, CacheShards: *cacheShards}
 	if *trace != "" || *metricsOut != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer(0)

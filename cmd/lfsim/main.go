@@ -57,6 +57,9 @@ type options struct {
 	reps      int
 	parallel  int
 
+	cacheTimeout time.Duration
+	cacheShards  int
+
 	faultProfile string
 	faultSeed    int64
 
@@ -81,6 +84,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 2, "base random seed; rep r runs at seed+r (and fault-seed+r)")
 	flag.IntVar(&o.reps, "reps", 1, "repetitions of the scenario; reports median/p95 aggregate goodput")
 	flag.IntVar(&o.parallel, "parallel", 1, "worker-pool size for -reps (each rep owns a private engine)")
+	flag.DurationVar(&o.cacheTimeout, "cache-timeout", 0, "lf-* schemes: flow-cache idle timeout (0 = entries pinned for the whole run)")
+	flag.IntVar(&o.cacheShards, "cache-shards", 0, "lf-* schemes: flow-cache shard count (0 = default; rounded up to a power of two)")
 	flag.StringVar(&o.faultProfile, "fault-profile", "none", "fault injection profile: none | netlink | slowpath | chaos")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault injector")
 	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON to this file")
@@ -265,7 +270,8 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		macs = net.MACs()
 		if isLF {
 			cfg := core.DefaultConfig()
-			cfg.FlowCacheTimeout = 0
+			cfg.FlowCacheTimeout = netsim.Time(o.cacheTimeout.Nanoseconds())
+			cfg.FlowCacheShards = o.cacheShards
 			coreOpts := []opt.Option{opt.WithScope(sc)}
 			if inj != nil && o.adapt {
 				// With faults on, arm the watchdog so a stalled slow path

@@ -15,7 +15,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
@@ -70,8 +69,16 @@ type Config struct {
 	StabilityWindow    int
 	StabilityTolerance float64
 	// FlowCacheTimeout evicts idle flow-cache entries. Zero disables the
-	// sweeper.
+	// sweeper. Expiry runs on a hashed timing wheel of sweepWheelSlots
+	// ticks, so an idle entry is evicted within one tick
+	// (FlowCacheTimeout/64) after its deadline and each tick's work is
+	// proportional to the entries expiring, not to the cache size.
 	FlowCacheTimeout netsim.Time
+	// FlowCacheShards is the flow-cache shard count, rounded up to a power
+	// of two (0 = 16). More shards bound per-map depth when caching
+	// hundreds of thousands of concurrent flows; see
+	// liteflow_core_shard_depth.
+	FlowCacheShards int
 	// Quant configures snapshot generation.
 	Quant quant.Config
 }
@@ -99,6 +106,7 @@ type Stats struct {
 	Installs       int64
 	Unloads        int64
 	SweptEntries   int64
+	SweepScans     int64 // flow-cache entries examined by sweep ticks
 	BlockedQueries int64
 	Degraded       int64 // watchdog degradations to the last-good snapshot
 	Recovered      int64 // recoveries after the slow path came back
@@ -115,6 +123,8 @@ type coreMetrics struct {
 	installs    *obs.Counter
 	unloads     *obs.Counter
 	swept       *obs.Counter
+	sweepScans  *obs.Counter
+	shardDepth  *obs.Gauge
 	blocked     *obs.Counter
 	degraded    *obs.Counter
 	recovered   *obs.Counter
@@ -131,6 +141,8 @@ func newCoreMetrics(sc obs.Scope) coreMetrics {
 		installs:    sc.Counter("liteflow_core_snapshot_installs_total", "snapshot modules loaded into the NN manager"),
 		unloads:     sc.Counter("liteflow_core_snapshot_unloads_total", "retired snapshots removed at refcount 0"),
 		swept:       sc.Counter("liteflow_core_flow_cache_swept_total", "idle flow-cache entries evicted by the sweeper"),
+		sweepScans:  sc.Counter("liteflow_core_sweep_scan_total", "flow-cache entries examined by sweep ticks (incremental eviction work)"),
+		shardDepth:  sc.Gauge("liteflow_core_shard_depth", "entries in the deepest flow-cache shard"),
 		blocked:     sc.Counter("liteflow_core_blocked_queries_total", "distinct fast-path queries stalled by a blocking install"),
 		degraded:    sc.Counter("liteflow_core_degraded_total", "watchdog degradations to the last-good snapshot after slow-path silence"),
 		recovered:   sc.Counter("liteflow_core_recovered_total", "recoveries from degraded mode after the slow path resumed"),
@@ -156,9 +168,10 @@ type Core struct {
 	active  *Model
 	standby *Model
 
-	// Flow cache: flow ID → snapshot pinned for that flow.
+	// Flow cache: flow ID → snapshot pinned for that flow, sharded with an
+	// expiry timing wheel (flowcache.go).
 	cacheEnabled bool
-	cache        map[netsim.FlowID]*cacheEntry
+	fc           *flowCache
 
 	ios map[string]IOModule
 
@@ -166,9 +179,19 @@ type Core struct {
 	// while set in the future, fast-path queries stall until release.
 	lockedUntil netsim.Time
 
-	sc       obs.Scope
-	met      coreMetrics
-	sweeping bool
+	sc  obs.Scope
+	met coreMetrics
+
+	// Sweeper lifecycle: sweeping is the configuration switch (timeout > 0
+	// and StopSweeper not called); sweepArmed is whether a tick is actually
+	// scheduled. The sweeper arms on the first cache insert and disarms when
+	// the wheel drains, so an idle core schedules no events at all.
+	// sweepGen invalidates ticks already queued in the engine when the
+	// sweeper is force-disarmed (bulk drop) and later re-armed.
+	sweeping    bool
+	sweepArmed  bool
+	sweepGen    uint64
+	maxTickScan int64
 
 	// arena is the core's private inference scratch (paper: per-core
 	// execution state so snapshots stay immutable and shareable). It grows
@@ -189,11 +212,6 @@ type Core struct {
 	degraded  bool
 }
 
-type cacheEntry struct {
-	model    *Model
-	lastUsed netsim.Time
-}
-
 // NewCore returns a core module bound to eng. cpu may be nil to disable CPU
 // accounting (pure-algorithm tests). Options: opt.WithScope exports the
 // core's counters to a metrics registry and its datapath events to a tracer
@@ -205,7 +223,7 @@ func NewCore(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config, op
 	c := &Core{
 		Eng: eng, CPU: cpu, Costs: costs, Cfg: cfg,
 		cacheEnabled: true,
-		cache:        make(map[netsim.FlowID]*cacheEntry),
+		fc:           newFlowCache(cfg.FlowCacheShards, cfg.FlowCacheTimeout),
 		ios:          make(map[string]IOModule),
 		sc:           o.Scope,
 	}
@@ -214,10 +232,9 @@ func NewCore(eng *netsim.Engine, cpu *ksim.CPU, costs ksim.Costs, cfg Config, op
 		c.wd = *o.Watchdog
 		c.wdEnabled = true
 	}
-	if cfg.FlowCacheTimeout > 0 {
-		c.sweeping = true
-		c.scheduleSweep()
-	}
+	// The sweeper arms lazily on the first cache insert (armSweeper), so a
+	// core whose cache is never populated schedules no sweep events.
+	c.sweeping = cfg.FlowCacheTimeout > 0
 	return c
 }
 
@@ -246,23 +263,20 @@ func (c *Core) SetFlowCache(enabled bool) {
 		for _, f := range c.sortedCachedFlows() {
 			c.dropEntry(f)
 		}
+		// Every wheel reference is now stale; discard them and cancel any
+		// queued tick instead of letting the sweeper drain them one by one.
+		c.fc.resetWheel()
+		c.disarmSweeper()
 	}
 }
 
-// sortedCachedFlows returns the cached flow IDs in ascending order. Bulk
-// drops must not depend on map iteration order: eviction telemetry would
-// otherwise differ between same-seed runs (the determinism invariant,
-// DESIGN.md §4d). The returned slice aliases a core-owned scratch buffer —
-// valid until the next call — so periodic sweeps allocate only when the
-// cache has grown past every previous high-water mark.
+// sortedCachedFlows returns the cached flow IDs in ascending order (see
+// flowCache.appendSortedFlows for why bulk drops must not depend on map
+// iteration order). The returned slice aliases a core-owned scratch buffer,
+// valid until the next call.
 func (c *Core) sortedCachedFlows() []netsim.FlowID {
-	flows := c.flowScratch[:0]
-	for f := range c.cache {
-		flows = append(flows, f)
-	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
-	c.flowScratch = flows
-	return flows
+	c.flowScratch = c.fc.appendSortedFlows(c.flowScratch[:0])
+	return c.flowScratch
 }
 
 // Stats returns a snapshot of the core's counters.
@@ -275,6 +289,7 @@ func (c *Core) Stats() Stats {
 		Installs:       c.met.installs.Value(),
 		Unloads:        c.met.unloads.Value(),
 		SweptEntries:   c.met.swept.Value(),
+		SweepScans:     c.met.sweepScans.Value(),
 		BlockedQueries: c.met.blocked.Value(),
 		Degraded:       c.met.degraded.Value(),
 		Recovered:      c.met.recovered.Value(),
@@ -322,9 +337,16 @@ func (c *Core) RegisterModel(mod *codegen.Module) (*Model, error) {
 
 // Activate is the inference router's role switch: the standby snapshot
 // becomes active. Existing cached flows keep their pinned snapshot (flow
-// consistency); new flows use the new active. It returns an error when no
-// standby is installed.
+// consistency); new flows use the new active. It returns ErrNoStandby when
+// no standby is installed, and ErrDegraded while the watchdog has the core
+// pinned to its last-good snapshot — a stalled service's queued netlink
+// messages may still arrive and attempt an install, but a half-delivered
+// update must never be activated. The rejected standby stays registered and
+// can be activated after recovery (NoteSlowPathAlive).
 func (c *Core) Activate() error {
+	if c.degraded {
+		return ErrDegraded
+	}
 	if c.standby == nil {
 		return ErrNoStandby
 	}
@@ -447,9 +469,7 @@ func (c *Core) QueryModelBatch(flow netsim.FlowID, in, out []int64, n int) error
 	}
 	c.met.queries.Add(int64(n))
 	cost := ksim.InferCost(c.Costs.KernelInferPerMAC, m.prog.MACs())
-	for q := 0; q < n; q++ {
-		c.met.queryNS.Observe(float64(cost))
-	}
+	c.met.queryNS.ObserveN(float64(cost), int64(n))
 	if c.CPU != nil {
 		c.CPU.Charge(ksim.Kernel, netsim.Time(n)*cost)
 	}
@@ -463,9 +483,12 @@ func (c *Core) lookup(flow netsim.FlowID) *Model {
 	if !c.cacheEnabled {
 		return c.active
 	}
-	if e, ok := c.cache[flow]; ok {
+	if e := c.fc.get(flow); e != nil {
 		c.met.cacheHits.Inc()
 		c.sc.Event1("flowcache", "hit", c.Eng.Now(), "flow", int64(flow))
+		// Lazy renewal: only the timestamp moves. The entry's wheel
+		// reference stays parked and is re-parked when its bucket comes
+		// due, keeping the hit path at zero allocations.
 		e.lastUsed = c.Eng.Now()
 		return e.model
 	}
@@ -475,7 +498,11 @@ func (c *Core) lookup(flow netsim.FlowID) *Model {
 	c.met.cacheMisses.Inc()
 	c.sc.Event1("flowcache", "miss", c.Eng.Now(), "flow", int64(flow))
 	c.active.refs++
-	c.cache[flow] = &cacheEntry{model: c.active, lastUsed: c.Eng.Now()}
+	d := c.fc.insert(flow, &cacheEntry{model: c.active, lastUsed: c.Eng.Now()})
+	if float64(d) > c.met.shardDepth.Value() {
+		c.met.shardDepth.Set(float64(d))
+	}
+	c.armSweeper()
 	return c.active
 }
 
@@ -485,18 +512,28 @@ func (c *Core) FlowFinished(flow netsim.FlowID) {
 }
 
 func (c *Core) dropEntry(flow netsim.FlowID) {
-	e, ok := c.cache[flow]
+	e, ok := c.fc.remove(flow)
 	if !ok {
 		return
 	}
-	delete(c.cache, flow)
 	e.model.refs--
 	c.sc.Event1("flowcache", "evict", c.Eng.Now(), "flow", int64(flow))
 	c.unloadDead()
 }
 
 // CachedFlows returns the number of live flow-cache entries.
-func (c *Core) CachedFlows() int { return len(c.cache) }
+func (c *Core) CachedFlows() int { return c.fc.count }
+
+// CacheShards returns the flow cache's shard count.
+func (c *Core) CacheShards() int { return len(c.fc.shards) }
+
+// ShardDepth returns the current depth of the deepest flow-cache shard.
+func (c *Core) ShardDepth() int { return c.fc.deepest() }
+
+// MaxSweepTickScan returns the largest number of wheel references any single
+// sweep tick has examined — the per-tick work bound the incremental sweeper
+// exists to enforce (proportional to expirations, never to cache size).
+func (c *Core) MaxSweepTickScan() int64 { return c.maxTickScan }
 
 // unloadDead removes retired models whose reference count reached zero — the
 // paper's rule that a NN module can be removed only at refcount 0.
@@ -513,25 +550,74 @@ func (c *Core) unloadDead() {
 	c.models = kept
 }
 
-func (c *Core) scheduleSweep() {
-	c.Eng.After(c.Cfg.FlowCacheTimeout, func() {
-		if !c.sweeping {
-			return
-		}
-		cutoff := c.Eng.Now() - c.Cfg.FlowCacheTimeout
-		var swept int64
-		for _, f := range c.sortedCachedFlows() {
-			if e, ok := c.cache[f]; ok && e.lastUsed < cutoff {
+// armSweeper schedules the next sweep tick if the sweeper is enabled and no
+// tick is pending. Called on every cache insert; once the wheel drains the
+// tick chain stops rescheduling, so an idle or empty cache costs no events.
+func (c *Core) armSweeper() {
+	if !c.sweeping || c.sweepArmed || c.fc.tick <= 0 {
+		return
+	}
+	c.sweepArmed = true
+	c.sweepGen++
+	gen := c.sweepGen
+	c.fc.next = c.Eng.Now()/c.fc.tick + 1
+	c.Eng.After(c.fc.tick, func() { c.sweepTick(gen) })
+}
+
+// disarmSweeper cancels the pending tick chain (if any) by bumping the
+// generation, so a tick already queued in the engine becomes a no-op.
+func (c *Core) disarmSweeper() {
+	c.sweepArmed = false
+	c.sweepGen++
+}
+
+// sweepTick is one turn of the expiry wheel: it drains the bucket(s) whose
+// slots came due since the previous tick, evicting entries idle for at least
+// FlowCacheTimeout (deadline <= now — an entry idle for exactly the timeout
+// goes now, not a full period later) and re-parking entries a cache hit
+// renewed since they were parked. Work per tick is proportional to the
+// references in the due buckets, never to the cache size; the scan count
+// feeds liteflow_core_sweep_scan_total so that bound is observable.
+func (c *Core) sweepTick(gen uint64) {
+	if gen != c.sweepGen || !c.sweeping || !c.sweepArmed {
+		return
+	}
+	fc := c.fc
+	now := c.Eng.Now()
+	cur := now / fc.tick
+	var swept, scanned int64
+	for s := fc.next; s <= cur; s++ {
+		for _, f := range fc.takeBucket(s) {
+			scanned++
+			e := fc.get(f)
+			if e == nil || e.slot != s {
+				continue // stale: flow finished or re-cached since parking
+			}
+			if e.lastUsed+fc.timeout <= now {
 				c.dropEntry(f)
 				swept++
+			} else {
+				fc.park(f, e)
 			}
 		}
-		c.met.swept.Add(swept)
-		if swept > 0 {
-			c.sc.Event1("flowcache", "sweep", c.Eng.Now(), "swept", swept)
-		}
-		c.scheduleSweep()
-	})
+	}
+	fc.next = cur + 1
+	c.met.sweepScans.Add(scanned)
+	if scanned > c.maxTickScan {
+		c.maxTickScan = scanned
+	}
+	c.met.swept.Add(swept)
+	if swept > 0 {
+		c.sc.Event1("flowcache", "sweep", now, "swept", swept)
+	}
+	c.met.shardDepth.Set(float64(fc.deepest()))
+	if fc.parked == 0 {
+		// Wheel drained: nothing left to expire. The next cache insert
+		// re-arms the tick chain.
+		c.sweepArmed = false
+		return
+	}
+	c.Eng.After(fc.tick, func() { c.sweepTick(gen) })
 }
 
 // StopSweeper halts the idle-entry sweeper (experiment teardown).

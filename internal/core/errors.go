@@ -25,4 +25,9 @@ var (
 	// ParseSample — wrong length header, non-finite values, or an empty
 	// record. The kernel boundary rejects such data instead of misparsing.
 	ErrMalformedSample = errors.New("core: malformed sample")
+	// ErrDegraded: Activate was called while the slow-path watchdog has the
+	// core pinned to its last-good snapshot. A stalled service's half-
+	// delivered update must never be activated; activation is refused until
+	// the slow path proves liveness again (NoteSlowPathAlive).
+	ErrDegraded = errors.New("core: degraded, activation pinned to last-good snapshot")
 )

@@ -76,8 +76,11 @@ func TestWatchdogDegradesOnSilenceAndRecovers(t *testing.T) {
 	if st.Degraded != 1 {
 		t.Errorf("Degraded = %d, want 1", st.Degraded)
 	}
-	if err := r.core.Activate(); !errors.Is(err, ErrNoStandby) {
-		t.Errorf("degrade must discard the pending standby, Activate = %v", err)
+	if r.core.standby != nil {
+		t.Error("degrade must discard the pending standby")
+	}
+	if err := r.core.Activate(); !errors.Is(err, ErrDegraded) {
+		t.Errorf("Activate while degraded = %v, want ErrDegraded", err)
 	}
 	// The fast path keeps answering from the last-good snapshot.
 	in := make([]int64, 4)
@@ -93,6 +96,50 @@ func TestWatchdogDegradesOnSilenceAndRecovers(t *testing.T) {
 	}
 	if got := r.core.Stats().Recovered; got != 1 {
 		t.Errorf("Recovered = %d, want 1", got)
+	}
+}
+
+// TestActivateRejectedWhileDegraded is the regression test for the
+// degradation-pin bug: a stalled service's already-queued netlink messages
+// could still RegisterModel+Activate a snapshot while the core was degraded,
+// violating the "half-delivered update can never be activated" invariant.
+// Activation while degraded must return ErrDegraded; the parked standby is
+// activatable only after the slow path proves liveness again.
+func TestActivateRejectedWhileDegraded(t *testing.T) {
+	window := 100 * netsim.Millisecond
+	r := newWatchdogRig(t, window)
+	defer r.core.StopWatchdog()
+
+	r.pushBatch(4)
+	r.eng.RunUntil(r.eng.Now() + 5*window)
+	if !r.core.Degraded() {
+		t.Fatal("watchdog must degrade after slow-path silence")
+	}
+	pinned := r.core.Active()
+
+	// A queued update from the stalled service arrives now: install parks a
+	// standby, but activation must be refused while the pin holds.
+	base2 := nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, 13)
+	if _, err := r.core.RegisterModel(buildModule(t, base2, "late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.core.Activate(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Activate while degraded = %v, want ErrDegraded", err)
+	}
+	if r.core.Active() != pinned {
+		t.Error("degraded core must keep serving the last-good snapshot")
+	}
+
+	// Recovery lifts the pin: the deferred standby activates normally.
+	r.pushBatch(4)
+	if r.core.Degraded() {
+		t.Fatal("core must recover once the slow path resumes")
+	}
+	if err := r.core.Activate(); err != nil {
+		t.Fatalf("Activate after recovery = %v", err)
+	}
+	if r.core.Active() == pinned {
+		t.Error("deferred standby must activate after recovery")
 	}
 }
 

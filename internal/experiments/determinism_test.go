@@ -68,14 +68,27 @@ func TestGoldenSuiteSerialVsParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite golden run is slow; skipped with -short")
 	}
+	// The suite must include the flow-churn experiment (#20): its sharded
+	// cache and timing-wheel sweeper are exactly the structures whose
+	// iteration order could silently go nondeterministic.
+	if _, ok := ByID("flow-churn"); !ok {
+		t.Fatal("flow-churn missing from the registry; golden coverage would silently shrink")
+	}
 	runSuite := func(parallel int) (report string, prom, trace []byte) {
 		reg := obs.NewRegistry()
 		tr := obs.NewTracer(0)
 		cfg := Config{Scale: 0.02, Seed: 3, Obs: obs.New(reg, tr)}
 		var b bytes.Buffer
+		covered := false
 		for _, sr := range RunSuite(All(), cfg, SuiteOptions{Parallel: parallel}) {
+			if sr.Result.ID == "flow-churn" {
+				covered = true
+			}
 			b.WriteString(sr.Result.String())
 			b.WriteByte('\n')
+		}
+		if !covered {
+			t.Fatal("suite run did not execute flow-churn")
 		}
 		var tb bytes.Buffer
 		if err := tr.WriteChromeTrace(&tb); err != nil {

@@ -24,6 +24,10 @@ type Config struct {
 	// Obs, when non-zero, exports metrics and trace events from the
 	// simulated components (threaded through core, netlink, topo, ksim).
 	Obs obs.Scope
+	// CacheShards overrides the core flow-cache shard count for experiments
+	// that exercise the cache (0 = the core default). Set by lfbench
+	// -cache-shards.
+	CacheShards int
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -160,6 +164,7 @@ func All() []Runner {
 		{"abl-taylor", "Ablation: LUT vs Taylor activation approximation (§3.1)", AblTaylor},
 		{"abl-update", "Ablation: active-standby switch vs blocking install (§3.4)", AblUpdate},
 		{"resilience", "Goodput under injected faults (graceful degradation)", FigResilience},
+		{"flow-churn", "Flow-cache churn at scale: sharded cache + incremental sweep", FigFlowChurn},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -12,8 +13,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -357,6 +358,58 @@ func TestFig17LoadBalancingCompletes(t *testing.T) {
 				t.Errorf("%s class %d has no FCT data", s.Name, c)
 			}
 		}
+	}
+}
+
+func TestFlowChurnIncrementalSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res := FigFlowChurn(Config{Scale: 0.2, Seed: 1, CacheShards: 64})
+	cached := res.Get("cached-flows")
+	depth := res.Get("shard-depth")
+	if cached == nil || depth == nil || len(cached.Y) < 10 {
+		t.Fatal("missing time series")
+	}
+	peakCached, peakDepth := 0.0, 0.0
+	for i := range cached.Y {
+		if cached.Y[i] > peakCached {
+			peakCached = cached.Y[i]
+		}
+		if depth.Y[i] > peakDepth {
+			peakDepth = depth.Y[i]
+		}
+	}
+	if peakCached < 100 {
+		t.Fatalf("peak cached = %.0f — churn never filled the cache", peakCached)
+	}
+	// 64 shards must keep the deepest shard a small fraction of the total.
+	if peakDepth > peakCached/8 {
+		t.Errorf("deepest shard %.0f of %.0f cached — sharding is not spreading", peakDepth, peakCached)
+	}
+	// The incremental-sweep bound, as reported in the notes: no single tick
+	// scanned anything close to the peak cache population.
+	var maxTick, peak, scans, shards int64
+	found := false
+	for _, n := range res.Notes {
+		if _, err := fmt.Sscanf(n, "incremental sweep: max tick scan %d of peak %d cached (%d scans total over %d shards)",
+			&maxTick, &peak, &scans, &shards); err == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("missing incremental-sweep note in %v", res.Notes)
+	}
+	if maxTick == 0 || scans == 0 {
+		t.Error("sweeper did no work under churn")
+	}
+	if maxTick > peak/4 {
+		t.Errorf("one sweep tick scanned %d of peak %d cached — not incremental", maxTick, peak)
+	}
+	// Everything drains: the last sample and the drain note must agree.
+	if last := cached.Y[len(cached.Y)-1]; last > peakCached/2 {
+		t.Errorf("cache still near peak at run end: %.0f of %.0f", last, peakCached)
 	}
 }
 

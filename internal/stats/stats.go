@@ -41,6 +41,19 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// AddN records n identical samples in O(1), equivalent (up to float
+// association) to calling Add(x) n times. It exists for batch telemetry:
+// a batch of n queries sharing one modeled cost observes the histogram once
+// instead of n times.
+func (s *Summary) AddN(x float64, n int) {
+	if n <= 0 {
+		return
+	}
+	// A run of n identical samples is a summary with zero variance; folding
+	// it in via the parallel Welford combination handles the cross terms.
+	s.Merge(Summary{n: n, mean: x, m2: 0, min: x, max: x})
+}
+
 // Merge folds another summary into s using the parallel Welford combination
 // (Chan et al.), as if every sample of o had been Add-ed to s. Merging in a
 // fixed order is deterministic, which the telemetry merge relies on.

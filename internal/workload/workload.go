@@ -153,6 +153,45 @@ func Generate(r *rand.Rand, n, hosts int, load float64, linkBps int64, dist *Siz
 	return out
 }
 
+// ChurnFlow is one short-lived flow of a churn workload: it opens, issues a
+// handful of fast-path queries across its lifetime, and either closes with a
+// FIN or goes silent and idles out of the flow cache.
+type ChurnFlow struct {
+	ID      netsim.FlowID
+	Open    netsim.Time // arrival (first query)
+	Close   netsim.Time // last activity; ≥ Open
+	Queries int         // total queries across [Open, Close], ≥ 1
+	Fin     bool        // close with FIN (explicit cache drop) vs idle out
+}
+
+// GenerateChurn produces n short flows with Poisson arrivals at ratePerSec
+// (aggregate flows/second) and exponentially distributed lifetimes with the
+// given mean — the churn profile that stresses a flow cache: at any instant
+// ~ratePerSec×meanLife flows are live, and the whole population turns over
+// continuously. finFrac of flows end with a FIN; the rest stop querying and
+// must be reclaimed by the cache's idle sweeper. Each flow issues 1–4
+// queries. Deterministic for a given rand source.
+func GenerateChurn(r *rand.Rand, n int, ratePerSec float64, meanLife netsim.Time, finFrac float64) []ChurnFlow {
+	if n < 0 || ratePerSec <= 0 || meanLife <= 0 {
+		panic("workload: GenerateChurn needs n >= 0, ratePerSec > 0, meanLife > 0")
+	}
+	out := make([]ChurnFlow, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += r.ExpFloat64() / ratePerSec
+		life := netsim.Time(r.ExpFloat64() * float64(meanLife))
+		open := netsim.Time(t * 1e9)
+		out = append(out, ChurnFlow{
+			ID:      netsim.FlowID(i + 1),
+			Open:    open,
+			Close:   open + life,
+			Queries: 1 + r.Intn(4),
+			Fin:     r.Float64() < finFrac,
+		})
+	}
+	return out
+}
+
 // RateSetter is anything whose sending rate can be changed live; the tcp
 // UDPSource implements it.
 type RateSetter interface {

@@ -176,6 +176,72 @@ func TestPatternSwitcherValidation(t *testing.T) {
 	NewPatternSwitcher(netsim.NewEngine(), &fakeRate{}, 1, []int64{5}, 1)
 }
 
+func TestGenerateChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 20000
+	rate := 10000.0
+	meanLife := 30 * netsim.Millisecond
+	flows := GenerateChurn(r, n, rate, meanLife, 0.7)
+	if len(flows) != n {
+		t.Fatalf("got %d flows, want %d", len(flows), n)
+	}
+	var fins, queries int
+	var lifeSum float64
+	prev := netsim.Time(-1)
+	for i, f := range flows {
+		if f.ID != netsim.FlowID(i+1) {
+			t.Fatalf("flow %d: ID = %d, IDs must be dense from 1", i, f.ID)
+		}
+		if f.Open < prev {
+			t.Fatalf("flow %d opens at %d before predecessor %d — arrivals must be ordered", i, f.Open, prev)
+		}
+		prev = f.Open
+		if f.Close < f.Open {
+			t.Fatalf("flow %d closes before it opens", i)
+		}
+		if f.Queries < 1 || f.Queries > 4 {
+			t.Fatalf("flow %d: Queries = %d, want 1..4", i, f.Queries)
+		}
+		if f.Fin {
+			fins++
+		}
+		queries += f.Queries
+		lifeSum += float64(f.Close - f.Open)
+	}
+	// Statistical shape, generous bounds: Poisson arrival span ≈ n/rate
+	// seconds, exponential mean life ≈ meanLife, FIN fraction ≈ 0.7.
+	span := float64(flows[n-1].Open) / 1e9
+	if want := n / rate; span < want/2 || span > want*2 {
+		t.Errorf("arrival span = %.3fs, want ~%.3fs", span, want)
+	}
+	if mean := lifeSum / n; mean < 0.8*float64(meanLife) || mean > 1.2*float64(meanLife) {
+		t.Errorf("mean life = %.0fns, want ~%d", mean, meanLife)
+	}
+	if frac := float64(fins) / n; frac < 0.65 || frac > 0.75 {
+		t.Errorf("FIN fraction = %.3f, want ~0.7", frac)
+	}
+	if avg := float64(queries) / n; avg < 2 || avg > 3 {
+		t.Errorf("avg queries/flow = %.2f, want ~2.5", avg)
+	}
+
+	// Determinism: same seed, same flows.
+	again := GenerateChurn(rand.New(rand.NewSource(7)), n, rate, meanLife, 0.7)
+	for i := range flows {
+		if flows[i] != again[i] {
+			t.Fatalf("flow %d differs between same-seed generations", i)
+		}
+	}
+}
+
+func TestGenerateChurnValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive rate must panic")
+		}
+	}()
+	GenerateChurn(rand.New(rand.NewSource(1)), 1, 0, netsim.Millisecond, 0.5)
+}
+
 func BenchmarkSample(b *testing.B) {
 	d := WebSearch()
 	r := rand.New(rand.NewSource(1))

@@ -36,8 +36,9 @@
 // the core's slow-path watchdog: if no batch reaches the service within the
 // configured window the core degrades gracefully to its last-good snapshot
 // (counted in liteflow_core_degraded_total) instead of serving stale standby
-// state. WithRetry bounds the slow path's snapshot-install retry/backoff
-// policy. The pre-options constructors (New, NewCPU, NewChannel, NewService)
+// state; while degraded, Activate is rejected with ErrDegraded so the
+// last-good snapshot stays pinned until the slow path recovers. WithRetry
+// bounds the slow path's snapshot-install retry/backoff policy. The pre-options constructors (New, NewCPU, NewChannel, NewService)
 // remain as deprecated thin wrappers.
 //
 // # Errors
@@ -126,6 +127,7 @@ var (
 	ErrMalformedSample   = core.ErrMalformedSample
 	ErrNoModel           = core.ErrNoModel
 	ErrDimensionMismatch = core.ErrDimensionMismatch
+	ErrDegraded          = core.ErrDegraded
 )
 
 // Core framework types (paper Table 1 and §4). Core's methods map onto the
