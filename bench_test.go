@@ -10,7 +10,14 @@ import (
 	"testing"
 
 	liteflow "github.com/liteflow-sim/liteflow"
+	"github.com/liteflow-sim/liteflow/internal/core"
 	"github.com/liteflow-sim/liteflow/internal/experiments"
+	"github.com/liteflow-sim/liteflow/internal/fleet"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
 // benchCfg keeps full-suite bench runs tractable; cmd/lfbench -all uses
@@ -241,4 +248,66 @@ func BenchmarkTable1API(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetFanout measures one full distribution-plane wave: 8 members
+// behind one fleet controller, with a model that changes every pooled round,
+// so each op is push → aggregate → gate → build → 8 bounded-concurrency
+// member installs. This is the control-plane cost of keeping a fleet at
+// epoch parity, the figure the fleet-scale experiment scales up.
+func BenchmarkFleetFanout(b *testing.B) {
+	eng := netsim.NewEngine()
+	cfg := core.DefaultConfig()
+	cfg.StabilityWindow = 1 // open the correctness gate on the first round
+	user := &fanoutUser{net: nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, 1), sign: 0.5}
+	ctrl := fleet.New(eng, cfg, user, user, user, fleet.Config{
+		BatchInterval:         netsim.Millisecond,
+		AggregationInterval:   netsim.Millisecond,
+		MaxConcurrentInstalls: 8,
+	})
+	costs := ksim.DefaultCosts()
+	for i := 0; i < 8; i++ {
+		cpu := ksim.NewCPU(eng, 4, obs.Scope{})
+		ctrl.AddMember(core.NewCore(eng, cpu, costs, cfg),
+			netlink.NewChannel(eng, cpu, costs, nil))
+	}
+	if err := ctrl.Start(); err != nil {
+		b.Fatal(err)
+	}
+	input := []float64{0.1, 0.2, 0.3, 0.4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range ctrl.Members() {
+			m.Chan.Push(core.EncodeSample(core.Sample{Input: input, At: eng.Now()}))
+		}
+		eng.RunUntil(eng.Now() + 2*netsim.Millisecond)
+	}
+	b.StopTimer()
+	// Drain the last wave: its installs land just past the measured window.
+	eng.RunUntil(eng.Now() + 2*netsim.Millisecond)
+	ctrl.Stop()
+	st := ctrl.Stats()
+	if st.VersionsBuilt == 0 || st.MemberInstalls == 0 {
+		b.Fatalf("fan-out never fired: %d versions, %d installs", st.VersionsBuilt, st.MemberInstalls)
+	}
+	if st.StaleMembers != 0 {
+		b.Fatalf("%d members stale after the drain", st.StaleMembers)
+	}
+	b.ReportMetric(float64(st.MemberInstalls)/float64(b.N), "installs/op")
+}
+
+// fanoutUser flips the model every pooled adaptation round, so every
+// aggregation fails the necessity gate and mints a new epoch.
+type fanoutUser struct {
+	net  *nn.Network
+	sign float64
+}
+
+func (u *fanoutUser) Freeze() *nn.Network          { return u.net }
+func (u *fanoutUser) Stability() float64           { return 0.5 }
+func (u *fanoutUser) Infer(in []float64) []float64 { return u.net.Infer(in) }
+func (u *fanoutUser) Adapt([]core.Sample) {
+	u.net.Layers[len(u.net.Layers)-1].B[0] += u.sign
+	u.sign = -u.sign
 }

@@ -21,7 +21,14 @@ import (
 	"time"
 
 	liteflow "github.com/liteflow-sim/liteflow"
+	"github.com/liteflow-sim/liteflow/internal/core"
 	"github.com/liteflow-sim/liteflow/internal/experiments"
+	"github.com/liteflow-sim/liteflow/internal/fleet"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
 // benchEntry is one measured benchmark in a snapshot.
@@ -76,6 +83,7 @@ func runBenchMode(o benchModeOptions, stdout, stderr io.Writer) int {
 	}
 	snap.Entries = append(snap.Entries, measureQueryMicrobenches()...)
 	snap.Entries = append(snap.Entries, measureCacheMicrobenches()...)
+	snap.Entries = append(snap.Entries, measureFleetMicrobenches()...)
 	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Name < snap.Entries[j].Name })
 
 	for _, e := range snap.Entries {
@@ -225,6 +233,62 @@ func measureCacheMicrobenches() []benchEntry {
 	})
 	lf2.StopSweeper()
 	return []benchEntry{many, churn}
+}
+
+// measureFleetMicrobenches measures one full distribution-plane wave — the
+// mirror of BenchmarkFleetFanout in bench_test.go: 8 members behind one
+// fleet controller, a model that changes every pooled round, so each op is
+// push → aggregate → gate → build → 8 bounded-concurrency member installs.
+func measureFleetMicrobenches() []benchEntry {
+	eng := netsim.NewEngine()
+	cfg := core.DefaultConfig()
+	cfg.StabilityWindow = 1 // open the correctness gate on the first round
+	user := &fanoutUser{net: nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, 1), sign: 0.5}
+	ctrl := fleet.New(eng, cfg, user, user, user, fleet.Config{
+		BatchInterval:         netsim.Millisecond,
+		AggregationInterval:   netsim.Millisecond,
+		MaxConcurrentInstalls: 8,
+	})
+	costs := liteflow.DefaultCosts()
+	for i := 0; i < 8; i++ {
+		cpu := ksim.NewCPU(eng, 4, obs.Scope{})
+		ctrl.AddMember(core.NewCore(eng, cpu, costs, cfg),
+			netlink.NewChannel(eng, cpu, costs, nil))
+	}
+	if err := ctrl.Start(); err != nil {
+		panic(err)
+	}
+	input := []float64{0.1, 0.2, 0.3, 0.4}
+	fanout := measure("micro/fleet_fanout", func(n int) {
+		for i := 0; i < n; i++ {
+			for _, m := range ctrl.Members() {
+				m.Chan.Push(core.EncodeSample(core.Sample{Input: input, At: eng.Now()}))
+			}
+			eng.RunUntil(eng.Now() + 2*netsim.Millisecond)
+		}
+	})
+	// Drain the last wave, then verify the rig actually fanned out.
+	eng.RunUntil(eng.Now() + 2*netsim.Millisecond)
+	ctrl.Stop()
+	if st := ctrl.Stats(); st.MemberInstalls == 0 || st.StaleMembers != 0 {
+		panic(fmt.Sprintf("fleet fanout rig broken: %d installs, %d stale", st.MemberInstalls, st.StaleMembers))
+	}
+	return []benchEntry{fanout}
+}
+
+// fanoutUser flips the model every pooled adaptation round, so every
+// aggregation fails the necessity gate and mints a new epoch.
+type fanoutUser struct {
+	net  *nn.Network
+	sign float64
+}
+
+func (u *fanoutUser) Freeze() *nn.Network          { return u.net }
+func (u *fanoutUser) Stability() float64           { return 0.5 }
+func (u *fanoutUser) Infer(in []float64) []float64 { return u.net.Infer(in) }
+func (u *fanoutUser) Adapt([]core.Sample) {
+	u.net.Layers[len(u.net.Layers)-1].B[0] += u.sign
+	u.sign = -u.sign
 }
 
 // queryRig builds the same Aurora-shaped core module bench_test.go uses.

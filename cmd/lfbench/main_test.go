@@ -98,7 +98,7 @@ func TestLfbenchBenchSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("-bench-out exited %d\nstderr: %s", code, stderr.String())
 	}
 	for _, want := range []string{"exp/dummy", "micro/query_steady_state", "micro/query_model_batch64",
-		"micro/lookup_many_flows", "micro/sweep_churn"} {
+		"micro/lookup_many_flows", "micro/sweep_churn", "micro/fleet_fanout"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("bench table missing %q:\n%s", want, stdout.String())
 		}
@@ -112,13 +112,14 @@ func TestLfbenchBenchSnapshotRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatalf("snapshot is not valid JSON: %v", err)
 	}
-	if snap.Scale != 0.05 || len(snap.Entries) != 5 {
-		t.Fatalf("snapshot shape: scale=%g entries=%d, want 0.05/5", snap.Scale, len(snap.Entries))
+	if snap.Scale != 0.05 || len(snap.Entries) != 6 {
+		t.Fatalf("snapshot shape: scale=%g entries=%d, want 0.05/6", snap.Scale, len(snap.Entries))
 	}
 	for _, e := range snap.Entries {
-		// sweep_churn inserts fresh flows each op and allocates by design;
-		// every other micro is a steady-state hot path with a 0-alloc contract.
-		if e.Name == "micro/sweep_churn" {
+		// sweep_churn inserts fresh flows each op and fleet_fanout mints a
+		// snapshot version per op, so both allocate by design; every other
+		// micro is a steady-state hot path with a 0-alloc contract.
+		if e.Name == "micro/sweep_churn" || e.Name == "micro/fleet_fanout" {
 			continue
 		}
 		if strings.HasPrefix(e.Name, "micro/") && e.AllocsPerOp != 0 {

@@ -14,6 +14,13 @@
 // -listen serves both live on /metrics and /debug/trace after the run.
 //
 //	lfsim -cc lf-aurora -adapt -congested -trace trace.json -metrics-out metrics.prom
+//
+// -fleet N switches to the snapshot distribution-plane scenario: one fleet
+// controller serving N kernel datapaths on a spine–leaf fabric under a
+// drifting model. A fault profile other than none enables the chaos variant
+// (injected slow-path outages on odd members).
+//
+//	lfsim -fleet 8 -duration 2s -fault-profile chaos
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/cc"
 	"github.com/liteflow-sim/liteflow/internal/codegen"
 	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/experiments"
 	"github.com/liteflow-sim/liteflow/internal/fault"
 	"github.com/liteflow-sim/liteflow/internal/ksim"
 	"github.com/liteflow-sim/liteflow/internal/netlink"
@@ -45,6 +53,7 @@ import (
 // options carries every flag so runs are reproducible from tests.
 type options struct {
 	scheme    string
+	fleet     int
 	flows     int
 	duration  time.Duration
 	warmup    time.Duration
@@ -73,6 +82,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.scheme, "cc", "bbr", "scheme: bbr | cubic | lf-aurora | lf-mocc | ccp-aurora | ccp-mocc")
+	flag.IntVar(&o.fleet, "fleet", 0, "run the fleet distribution-plane scenario with this many members instead of a CC scenario (0 = off); a -fault-profile other than none selects the chaos variant")
 	flag.IntVar(&o.flows, "flows", 1, "concurrent flows")
 	flag.DurationVar(&o.duration, "duration", 5*time.Second, "measured duration (after warmup)")
 	flag.DurationVar(&o.warmup, "warmup", 2*time.Second, "warmup before measurement starts")
@@ -195,8 +205,12 @@ func run(o options, stdout, stderr io.Writer) error {
 		goodput.Add(outs[r].goodput)
 		wall.Add(float64(outs[r].wall))
 	}
-	fmt.Fprintf(stdout, "reps summary: aggregate goodput median %.3f Gbps, p95 %.3f Gbps over %d reps (seeds %d..%d)\n",
-		goodput.Median(), goodput.Quantile(0.95), reps, o.seed, o.seed+int64(reps-1))
+	unit := "Gbps"
+	if o.fleet > 0 {
+		unit = "queries/s" // fleet runs report model-query throughput
+	}
+	fmt.Fprintf(stdout, "reps summary: aggregate goodput median %.3f %s, p95 %.3f %s over %d reps (seeds %d..%d)\n",
+		goodput.Median(), unit, goodput.Quantile(0.95), unit, reps, o.seed, o.seed+int64(reps-1))
 	fmt.Fprintf(stderr, "(wall: median %.1fs, p95 %.1fs)\n",
 		time.Duration(wall.Median()).Seconds(), time.Duration(wall.Quantile(0.95)).Seconds())
 	return nil
@@ -218,6 +232,9 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 	prof, ok := fault.ByName(o.faultProfile)
 	if !ok {
 		return 0, fmt.Errorf("unknown fault profile %q (want none|netlink|slowpath|chaos)", o.faultProfile)
+	}
+	if o.fleet > 0 {
+		return runFleet(o, rep, prof.Active(), sc, reg, tracer, stdout, stderr)
 	}
 	var inj *fault.Injector
 	if prof.Active() {
@@ -403,6 +420,39 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		return agg, http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer))
 	}
 	return agg, nil
+}
+
+// runFleet executes the fleet distribution-plane scenario (-fleet N): one
+// controller slow path serving N kernel datapaths on a spine–leaf fabric,
+// under a drifting model that keeps minting snapshot versions. With chaos,
+// odd members go dark on a jittered schedule, installs park on the degraded
+// cores, and the recovery tail must restore epoch parity. The returned
+// aggregate is the fleet-wide model-query rate in queries/s.
+func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, tracer *obs.Tracer, stdout, stderr io.Writer) (float64, error) {
+	r := experiments.RunFleetScenario(experiments.FleetScenarioOpts{
+		Members:     o.fleet,
+		Seed:        o.seed + int64(rep),
+		Dur:         netsim.Time(o.duration.Nanoseconds()),
+		Chaos:       chaos,
+		Obs:         sc,
+		CacheShards: o.cacheShards,
+	})
+	st := r.Stats
+	fmt.Fprintf(stdout, "fleet: %d members, epoch %d, %d member installs (%d parked, %d abandoned, %d deferred)\n",
+		r.Members, st.Epoch, st.MemberInstalls, st.InstallsParked, st.InstallsAbandoned, st.InstallsDeferred)
+	fmt.Fprintf(stdout, "fleet slow path: %d aggregations, %d samples, %d fidelity checks, %d skipped, %d outage drops\n",
+		st.Aggregations, st.Samples, st.FidelityChecks, st.SkippedByNecessity, st.OutageDrops)
+	fmt.Fprintf(stdout, "fleet staleness: mean %.3f, peak %d, final %d; member epochs %v\n",
+		r.MeanStale, r.PeakStale, st.StaleMembers, r.Epochs)
+	fmt.Fprintf(stdout, "aggregate: %.0f queries/s across %d members\n", r.GoodputQPS, r.Members)
+	if err := writeExports(o, reg, tracer); err != nil {
+		return 0, err
+	}
+	if o.listen != "" {
+		fmt.Fprintf(stderr, "serving telemetry on %s (/metrics, /debug/trace) — ctrl-c to stop\n", o.listen)
+		return r.GoodputQPS, http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer))
+	}
+	return r.GoodputQPS, nil
 }
 
 // writeExports flushes the run's telemetry to the requested files.

@@ -202,3 +202,64 @@ func TestLfsimDeterminism(t *testing.T) {
 		t.Errorf("Prometheus exports differ between same-seed runs:\n--- run1\n%s\n--- run2\n%s", p1, p2)
 	}
 }
+
+// TestLfsimFleetSmoke runs the -fleet scenario in chaos mode with telemetry
+// exports and checks the report, the fleet metric families, and run-to-run
+// byte-identical exports (the determinism contract extends to the
+// distribution plane).
+func TestLfsimFleetSmoke(t *testing.T) {
+	runFleetOnce := func(dir string) (report string, prom, trace []byte) {
+		o := options{
+			fleet:        4,
+			duration:     400 * time.Millisecond,
+			seed:         3,
+			faultProfile: "chaos",
+			trace:        filepath.Join(dir, "trace.json"),
+			metricsOut:   filepath.Join(dir, "metrics.prom"),
+		}
+		var stdout, stderr bytes.Buffer
+		if err := run(o, &stdout, &stderr); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+		}
+		p, err := os.ReadFile(o.metricsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := os.ReadFile(o.trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String(), p, tr
+	}
+
+	r1, p1, t1 := runFleetOnce(t.TempDir())
+	for _, want := range []string{"fleet: 4 members", "fleet slow path:", "fleet staleness:", "queries/s across 4 members"} {
+		if !strings.Contains(r1, want) {
+			t.Errorf("report missing %q:\n%s", want, r1)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE liteflow_fleet_member_installs_total counter",
+		"# TYPE liteflow_fleet_stale_members gauge",
+		"liteflow_fleet_member_epoch{",
+		"liteflow_fleet_outage_drops_total",
+	} {
+		if !strings.Contains(string(p1), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !json.Valid(t1) {
+		t.Fatalf("trace is not valid JSON (%d bytes)", len(t1))
+	}
+
+	r2, p2, t2 := runFleetOnce(t.TempDir())
+	if r1 != r2 {
+		t.Errorf("fleet reports differ between same-seed runs:\n--- run1\n%s\n--- run2\n%s", r1, r2)
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Error("fleet Prometheus exports differ between same-seed runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("fleet Chrome traces differ between same-seed runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+}

@@ -660,6 +660,11 @@ func (c *Core) scheduleWatchdog() {
 	})
 }
 
+// AttachSlowPath arms the watchdog (when one was configured) for an external
+// slow path — such as a fleet controller — that feeds liveness through
+// NoteSlowPathAlive without constructing a Service.
+func (c *Core) AttachSlowPath() { c.slowPathAttached() }
+
 // NoteSlowPathAlive records slow-path liveness (the service calls it for
 // every batch it accepts). A degraded core recovers here.
 func (c *Core) NoteSlowPathAlive() {

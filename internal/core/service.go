@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -58,11 +59,15 @@ func ParseSample(m netlink.Message) (Sample, error) {
 		}
 	}
 	n := int(h)
-	return Sample{
-		Input: m.Data[1 : 1+n],
-		Aux:   m.Data[1+n:],
-		At:    m.At,
-	}, nil
+	// Copy out of the message's backing array: the channel (and a fault
+	// injector corrupting queued payloads) retains m.Data, and adapters may
+	// mutate the samples they are handed — shared backing would let either
+	// side rewrite the other's history.
+	in := make([]float64, n)
+	copy(in, m.Data[1:1+n])
+	aux := make([]float64, len(m.Data)-1-n)
+	copy(aux, m.Data[1+n:])
+	return Sample{Input: in, Aux: aux, At: m.At}, nil
 }
 
 // DecodeSample is ParseSample with a boolean verdict, for callers that do
@@ -107,9 +112,11 @@ type ServiceStats struct {
 	SkippedByNecessity int64
 	BuildFailures      int64 // snapshot codegen failures (install retried)
 	InstallRetries     int64 // retry-with-backoff attempts after failures
-	InstallsAbandoned  int64 // installs given up after the retry budget
+	InstallsAbandoned  int64 // installs dropped: retry budget, rejection, or closed channel
+	InstallsParked     int64 // installs parked on a degraded core, awaiting recovery
 	OutageDrops        int64 // batches dropped inside injected outages
 	Malformed          int64 // messages rejected by ParseSample
+	FidelityMismatches int64 // fidelity samples skipped for output-size mismatch
 	LastFidelity       float64
 	LastStability      float64
 }
@@ -125,8 +132,10 @@ type serviceMetrics struct {
 	buildFailures  *obs.Counter
 	retries        *obs.Counter
 	abandoned      *obs.Counter
+	parked         *obs.Counter
 	outageDrops    *obs.Counter
 	malformed      *obs.Counter
+	mismatched     *obs.Counter
 	lastFidelity   *obs.Gauge
 	lastStability  *obs.Gauge
 }
@@ -141,9 +150,11 @@ func newServiceMetrics(sc obs.Scope) serviceMetrics {
 		skipped:        sc.Counter("liteflow_service_skipped_by_necessity_total", "installs skipped because fidelity loss was below threshold"),
 		buildFailures:  sc.Counter("liteflow_snapshot_build_failures_total", "snapshot build failures; the install is retried with backoff"),
 		retries:        sc.Counter("liteflow_snapshot_install_retries_total", "snapshot install retry attempts after build failures"),
-		abandoned:      sc.Counter("liteflow_snapshot_installs_abandoned_total", "snapshot installs abandoned after exhausting the retry budget"),
+		abandoned:      sc.Counter("liteflow_snapshot_installs_abandoned_total", "snapshot installs dropped: retry budget exhausted, module rejected, or channel closed"),
+		parked:         sc.Counter("liteflow_snapshot_installs_parked_total", "snapshot installs parked on a degraded core until recovery"),
 		outageDrops:    sc.Counter("liteflow_service_outage_drops_total", "batches dropped because the service was inside an injected outage"),
 		malformed:      sc.Counter("liteflow_service_malformed_total", "netlink messages rejected by sample validation"),
+		mismatched:     sc.Counter("liteflow_service_fidelity_size_mismatch_total", "fidelity samples skipped because kernel and user output sizes disagreed"),
 		lastFidelity:   sc.Gauge("liteflow_service_last_fidelity", "minimal fidelity loss from the latest necessity check"),
 		lastStability:  sc.Gauge("liteflow_service_last_stability", "stability metric from the latest batch"),
 	}
@@ -170,6 +181,7 @@ type Service struct {
 	stabilityHist []float64
 	snapCount     int
 	installing    bool
+	parked        *Model // standby registered while degraded, awaiting recovery
 
 	inj   *fault.Injector
 	retry opt.Retry
@@ -234,8 +246,10 @@ func (s *Service) Stats() ServiceStats {
 		BuildFailures:      s.met.buildFailures.Value(),
 		InstallRetries:     s.met.retries.Value(),
 		InstallsAbandoned:  s.met.abandoned.Value(),
+		InstallsParked:     s.met.parked.Value(),
 		OutageDrops:        s.met.outageDrops.Value(),
 		Malformed:          s.met.malformed.Value(),
+		FidelityMismatches: s.met.mismatched.Value(),
 		LastFidelity:       s.met.lastFidelity.Value(),
 		LastStability:      s.met.lastStability.Value(),
 	}
@@ -263,6 +277,7 @@ func (s *Service) HandleBatch(batch []netlink.Message) {
 		return
 	}
 	s.Core.NoteSlowPathAlive()
+	s.activateParked()
 	samples := make([]Sample, 0, len(batch))
 	for _, m := range batch {
 		if m.Kind != netlink.KindSample {
@@ -290,6 +305,28 @@ func (s *Service) HandleBatch(batch []netlink.Message) {
 	}
 	s.met.converged.Inc()
 	s.evaluateNecessity(samples)
+}
+
+// activateParked activates a snapshot whose install landed inside a degraded
+// window. The core kept it registered as the parked standby through the
+// outage; NoteSlowPathAlive has just cleared degradation, so the built module
+// activates now instead of being discarded and rebuilt from scratch.
+func (s *Service) activateParked() {
+	if s.parked == nil {
+		return
+	}
+	m := s.parked
+	s.parked = nil
+	if err := s.Core.Activate(); err != nil {
+		// The standby was displaced while parked (a newer install already
+		// took its place); nothing left to recover.
+		return
+	}
+	s.met.updates.Inc()
+	s.sc.EventStr("snapshot", "parked_activate", s.Core.Eng.Now(), "model", m.Name)
+	if s.OnUpdate != nil {
+		s.OnUpdate(m)
+	}
 }
 
 // converged applies the correctness gate: the stability metric must stay
@@ -326,18 +363,25 @@ func (s *Service) converged() bool {
 // when min L(x) exceeds α·(Omax−Omin).
 func (s *Service) evaluateNecessity(samples []Sample) {
 	if s.installing {
-		return // an install is already in flight
+		return // a fidelity check or install is already in flight
 	}
+	// Mark the pipeline busy at schedule time, not deep inside the install
+	// callbacks: the fidelity round trip spends a full cross-space RTT in
+	// flight, and a second batch arriving inside that window must not launch
+	// a concurrent check — overlapping installs race for the standby slot and
+	// double-ship parameters. Every terminal path below clears the flag.
+	s.installing = true
 	s.met.fidelityChecks.Inc()
 
 	payload := 0
 	for _, sm := range samples {
 		payload += 8 * len(sm.Input)
 	}
-	s.Chan.SendToKernel(payload, func() {
+	sendErr := s.Chan.SendToKernel(payload, func() {
 		minLoss := math.Inf(1)
 		active := s.Core.Active()
 		if active == nil {
+			s.installing = false
 			return
 		}
 		prog := active.Program()
@@ -356,17 +400,24 @@ func (s *Service) evaluateNecessity(samples []Sample) {
 			kernelOut := prog.DequantizeOutput(out, nil)
 			// Userspace output f(x).
 			userOut := s.Evaluator.Infer(sm.Input)
+			if len(userOut) != len(kernelOut) {
+				// Mismatched output shapes make the L1 distance meaningless;
+				// a truncated partial sum would understate the loss and mask
+				// real divergence. Skip the sample, mirroring the input-size
+				// skip above, and count it.
+				s.met.mismatched.Inc()
+				continue
+			}
 			l := 0.0
 			for i := range userOut {
-				if i < len(kernelOut) {
-					l += math.Abs(kernelOut[i] - userOut[i])
-				}
+				l += math.Abs(kernelOut[i] - userOut[i])
 			}
 			if l < minLoss {
 				minLoss = l
 			}
 		}
 		if math.IsInf(minLoss, 1) {
+			s.installing = false
 			return
 		}
 		// Response crosses back to userspace.
@@ -379,11 +430,15 @@ func (s *Service) evaluateNecessity(samples []Sample) {
 			if minLoss <= threshold {
 				s.met.skipped.Inc()
 				s.sc.Event("service", "necessity_skip", s.Core.Eng.Now())
+				s.installing = false
 				return
 			}
 			s.installSnapshot()
 		})
 	})
+	if sendErr != nil {
+		s.installing = false // channel closed; no kernel to query
+	}
 }
 
 // installSnapshot freezes the userspace model, generates a quantized module,
@@ -454,10 +509,25 @@ func (s *Service) tryInstall(attempt int) {
 		}
 		m, err := s.Core.RegisterModel(mod)
 		if err != nil {
+			// A rejected module (dimension change, nil program) cannot retry
+			// into success; count the loss instead of dropping it silently.
+			s.met.abandoned.Inc()
+			s.sc.EventStr("snapshot", "install_rejected", s.Core.Eng.Now(), "model", name)
 			s.installing = false
 			return
 		}
 		if err := s.Core.Activate(); err != nil {
+			if errors.Is(err, ErrDegraded) {
+				// The module is already registered: the degraded core parks
+				// it as standby, and activateParked switches to it on the
+				// first post-recovery batch instead of rebuilding.
+				s.parked = m
+				s.met.parked.Inc()
+				s.sc.EventStr("snapshot", "install_parked", s.Core.Eng.Now(), "model", name)
+			} else {
+				s.met.abandoned.Inc()
+				s.sc.EventStr("snapshot", "install_rejected", s.Core.Eng.Now(), "model", name)
+			}
 			s.installing = false
 			return
 		}
@@ -470,6 +540,7 @@ func (s *Service) tryInstall(attempt int) {
 	if sendErr != nil {
 		// The channel is gone; no kernel to install into.
 		s.met.abandoned.Inc()
+		s.sc.Event1("snapshot", "install_abandoned", now, "attempts", int64(attempt+1))
 		s.installing = false
 	}
 }

@@ -1,0 +1,369 @@
+package core
+
+// Regression tests for the slow-path install pipeline races and silent-loss
+// bugs, plus focused coverage of the correctness (converged) and necessity
+// (fidelity threshold) gates.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+)
+
+// fillWindow pushes enough faithful batches for the stability history to
+// fill, so every subsequent batch reaches the necessity gate.
+func fillWindow(r *serviceRig) {
+	r.user.stability = 0.5
+	for i := 0; i < r.core.Cfg.StabilityWindow+1; i++ {
+		r.pushBatch(8, int64(100+i))
+	}
+}
+
+// TestNoConcurrentFidelityChecks is the regression test for the install-race
+// bug: evaluateNecessity only consulted s.installing at entry, but the flag
+// was set deep inside the SendToKernel→After callbacks, so two batches
+// delivered within one cross-space RTT both passed the check and launched
+// concurrent fidelity evaluations — and, with a diverged user model, two
+// overlapping installs. The pipeline must be marked busy at schedule time.
+func TestNoConcurrentFidelityChecks(t *testing.T) {
+	r := newServiceRig(t)
+	fillWindow(r)
+	st0 := r.svc.Stats()
+
+	// Diverge the user model so the check will want an install, then deliver
+	// two batches back-to-back: both flushes happen at the same virtual
+	// instant, so both deliveries land inside the first check's RTT window.
+	r.user.net.Layers[1].B[0] += 0.5
+	rng := rand.New(rand.NewSource(7))
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 8; i++ {
+			in := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+			r.ch.Push(EncodeSample(Sample{Input: in, At: r.eng.Now()}))
+		}
+		r.ch.Flush()
+	}
+	r.eng.Run()
+
+	st := r.svc.Stats()
+	if got := st.FidelityChecks - st0.FidelityChecks; got != 1 {
+		t.Errorf("two batches inside one RTT launched %d fidelity checks, want 1", got)
+	}
+	if got := st.Updates - st0.Updates; got != 1 {
+		t.Errorf("two batches inside one RTT produced %d installs, want 1", got)
+	}
+}
+
+// badFreezer freezes a network whose output dimension disagrees with the
+// active snapshot, so RegisterModel rejects the built module.
+type badFreezer struct{}
+
+func (badFreezer) Freeze() *nn.Network {
+	return nn.New([]int{4, 8, 2}, []nn.Activation{nn.Tanh, nn.Linear}, 3)
+}
+
+// TestRejectedInstallCounted is the regression test for the silent-drop bug:
+// a RegisterModel failure inside the install callback returned without
+// touching any counter, so ServiceStats undercounted losses. It must count
+// as abandoned.
+func TestRejectedInstallCounted(t *testing.T) {
+	eng := netsim.NewEngine()
+	cpu := ksim.NewCPU(eng, 4)
+	cfg := DefaultConfig()
+	cfg.FlowCacheTimeout = 0
+	c := New(eng, cpu, ksim.DefaultCosts(), cfg)
+	base := nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, 11)
+	if _, err := c.RegisterModel(buildModule(t, base, "m0")); err != nil {
+		t.Fatal(err)
+	}
+	user := &userModel{net: base.Clone(), stability: 0.5}
+	user.net.Layers[1].B[0] += 0.5 // diverged: the check wants an install
+	ch := netlink.New(eng, cpu, ksim.DefaultCosts(), nil)
+	svc := NewSlowPath(c, ch, badFreezer{}, user, user)
+	r := &serviceRig{eng: eng, cpu: cpu, core: c, ch: ch, user: user, svc: svc}
+
+	for i := 0; i < cfg.StabilityWindow+1; i++ {
+		r.pushBatch(8, int64(i))
+	}
+	st := r.svc.Stats()
+	if st.Updates != 0 {
+		t.Errorf("mismatched module must not install, got %d updates", st.Updates)
+	}
+	if st.InstallsAbandoned == 0 {
+		t.Error("rejected RegisterModel must count as an abandoned install")
+	}
+	if r.svc.installing {
+		t.Error("rejection must release the install pipeline")
+	}
+}
+
+// TestDegradedInstallParksAndRecovers is the regression test for the
+// discarded-module bug: an install whose Activate landed inside a degraded
+// window dropped the fully built, already-registered module on the floor.
+// The core keeps it parked as standby; the service must activate it on the
+// first post-recovery batch rather than rebuilding from scratch.
+func TestDegradedInstallParksAndRecovers(t *testing.T) {
+	window := 100 * netsim.Millisecond
+	r := newWatchdogRig(t, window)
+	defer r.core.StopWatchdog()
+
+	r.pushBatch(4) // liveness signal
+	r.eng.RunUntil(r.eng.Now() + 5*window)
+	if !r.core.Degraded() {
+		t.Fatal("watchdog must degrade after slow-path silence")
+	}
+	pinned := r.core.Active()
+
+	// An install pipeline that was already past its netlink send completes
+	// now: RegisterModel parks the standby, Activate is refused.
+	r.user.net.Layers[1].B[0] += 0.5
+	r.svc.installSnapshot()
+	r.eng.RunUntil(r.eng.Now() + 10*netsim.Millisecond)
+
+	st := r.svc.Stats()
+	if st.InstallsParked != 1 {
+		t.Fatalf("install during degradation must park, got %+v", st)
+	}
+	if st.InstallsAbandoned != 0 {
+		t.Errorf("parked install must not count as abandoned: %+v", st)
+	}
+	if r.core.Active() != pinned {
+		t.Error("degraded core must keep serving the pinned snapshot")
+	}
+	if r.svc.installing {
+		t.Error("parking must release the install pipeline")
+	}
+
+	// The next accepted batch recovers the core and activates the parked
+	// standby — no rebuild, no re-send.
+	r.pushBatch(4)
+	if r.core.Degraded() {
+		t.Fatal("core must recover once the slow path resumes")
+	}
+	st = r.svc.Stats()
+	if st.Updates != 1 {
+		t.Errorf("parked standby must activate on recovery, got %d updates", st.Updates)
+	}
+	if r.core.Active() == pinned {
+		t.Error("recovery must switch to the parked snapshot")
+	}
+}
+
+// wideEvaluator wraps an Evaluator and appends one extra output element, so
+// userspace and kernel output sizes disagree on every fidelity sample.
+type wideEvaluator struct{ inner *userModel }
+
+func (w wideEvaluator) Stability() float64 { return w.inner.Stability() }
+func (w wideEvaluator) Infer(in []float64) []float64 {
+	return append(w.inner.Infer(in), 0)
+}
+
+// TestFidelityOutputMismatchSkipped is the regression test for the truncated
+// partial-loss bug: the loss loop summed over userOut indices clamped to
+// len(kernelOut), so mismatched output sizes produced a prefix loss that was
+// acted on as if it were meaningful. Mismatched samples must be skipped — as
+// input-size mismatches already are — and counted.
+func TestFidelityOutputMismatchSkipped(t *testing.T) {
+	eng := netsim.NewEngine()
+	cpu := ksim.NewCPU(eng, 4)
+	cfg := DefaultConfig()
+	cfg.FlowCacheTimeout = 0
+	c := New(eng, cpu, ksim.DefaultCosts(), cfg)
+	base := nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, 11)
+	if _, err := c.RegisterModel(buildModule(t, base, "m0")); err != nil {
+		t.Fatal(err)
+	}
+	user := &userModel{net: base.Clone(), stability: 0.5}
+	user.net.Layers[1].B[0] += 0.5 // prefix loss would exceed the threshold
+	ch := netlink.New(eng, cpu, ksim.DefaultCosts(), nil)
+	svc := NewSlowPath(c, ch, user, wideEvaluator{user}, user)
+	r := &serviceRig{eng: eng, cpu: cpu, core: c, ch: ch, user: user, svc: svc}
+
+	for i := 0; i < cfg.StabilityWindow+1; i++ {
+		r.pushBatch(8, int64(i))
+	}
+	st := r.svc.Stats()
+	if st.FidelityMismatches == 0 {
+		t.Error("size-mismatched fidelity samples must be counted")
+	}
+	if st.Updates != 0 || st.SkippedByNecessity != 0 {
+		t.Errorf("a batch of mismatched samples must decide nothing: %+v", st)
+	}
+	if st.LastFidelity != 0 {
+		t.Errorf("truncated partial loss leaked into LastFidelity: %v", st.LastFidelity)
+	}
+	if r.svc.installing {
+		t.Error("an all-mismatched check must release the install pipeline")
+	}
+}
+
+// TestParseSampleCopiesPayload is the regression test for the aliasing bug:
+// ParseSample returned Input/Aux slices sharing the netlink message's backing
+// array, so a mutating Adapter (or injected corruption of a queued message)
+// rewrote history already handed out.
+func TestParseSampleCopiesPayload(t *testing.T) {
+	msg := EncodeSample(Sample{Input: []float64{1, 2, 3}, Aux: []float64{4, 5}})
+	orig := append([]float64(nil), msg.Data...)
+	sm, err := ParseSample(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Input[0] = 99
+	sm.Aux[0] = -99
+	for i, v := range msg.Data {
+		if v != orig[i] {
+			t.Fatalf("mutating a parsed sample changed message data[%d]: %v -> %v",
+				i, orig[i], v)
+		}
+	}
+	msg.Data[1] = 77
+	if sm.Input[0] != 99 || sm.Input[1] != 2 {
+		t.Error("mutating message data changed an already-parsed sample")
+	}
+}
+
+// TestConvergedWindowShrink covers the correctness gate across a live config
+// change: shrinking StabilityWindow must truncate the history to the new
+// window, not keep judging against stale entries beyond it.
+func TestConvergedWindowShrink(t *testing.T) {
+	r := newServiceRig(t)
+	r.core.Cfg.StabilityWindow = 4
+
+	feed := func(v float64) bool {
+		r.svc.met.lastStability.Set(v)
+		return r.svc.converged()
+	}
+	for i := 0; i < 3; i++ {
+		if feed(0.5) {
+			t.Fatal("gate must not pass before the window fills")
+		}
+	}
+	if !feed(0.5) {
+		t.Fatal("four steady values must pass a window of 4")
+	}
+
+	// Shrink mid-run: the next value dominates a 2-window that still holds
+	// one old 0.5, so the relative range is huge.
+	r.core.Cfg.StabilityWindow = 2
+	if feed(10) {
+		t.Error("window shrink must not pass on a [0.5, 10] history")
+	}
+	if !feed(10) {
+		t.Error("two steady values must pass the shrunken window of 2")
+	}
+	if n := len(r.svc.stabilityHist); n != 2 {
+		t.Errorf("history must truncate to the new window, len = %d", n)
+	}
+}
+
+// TestConvergedZeroScaleBand covers the zero-scale special case: a stability
+// metric sitting exactly at zero (e.g. a loss that bottomed out) has no
+// relative range to judge, and must count as converged rather than dividing
+// by zero.
+func TestConvergedZeroScaleBand(t *testing.T) {
+	r := newServiceRig(t)
+	r.core.Cfg.StabilityWindow = 3
+	for i := 0; i < 2; i++ {
+		r.svc.met.lastStability.Set(0)
+		if r.svc.converged() {
+			t.Fatal("gate must not pass before the window fills")
+		}
+	}
+	r.svc.met.lastStability.Set(0)
+	if !r.svc.converged() {
+		t.Error("an all-zero stability window must converge")
+	}
+}
+
+// fixedEvaluator reports a constant stability and a constant inference
+// output, giving the necessity test exact control over the fidelity loss.
+type fixedEvaluator struct{ out float64 }
+
+func (f fixedEvaluator) Stability() float64           { return 0.5 }
+func (f fixedEvaluator) Infer(in []float64) []float64 { return []float64{f.out} }
+
+// TestNecessityThresholdBoundary tables the necessity decision around
+// minLoss == α·(Omax−Omin) exactly. The kernel model is an all-zero network,
+// whose quantized output is exactly 0.0, so minLoss equals the evaluator's
+// constant |out| with no quantization noise; with the default α = 0.05 and
+// output range [−1, 1] the threshold is exactly 0.1 in IEEE arithmetic.
+func TestNecessityThresholdBoundary(t *testing.T) {
+	threshold := 0.05 * (1.0 - (-1.0)) // exact: 0.1
+	cases := []struct {
+		name    string
+		loss    float64
+		install bool
+	}{
+		{"zero", 0, false},
+		{"just_below", threshold - 1e-9, false},
+		{"exactly_at", threshold, false}, // the gate is strict: > not >=
+		{"just_above", math.Nextafter(threshold, 2), true},
+		{"well_above", 0.5, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := netsim.NewEngine()
+			cpu := ksim.NewCPU(eng, 4)
+			cfg := DefaultConfig()
+			cfg.FlowCacheTimeout = 0
+			cfg.StabilityWindow = 1
+			c := New(eng, cpu, ksim.DefaultCosts(), cfg)
+			zero := nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, 1)
+			for _, l := range zero.Layers {
+				for i := range l.W {
+					for j := range l.W[i] {
+						l.W[i][j] = 0
+					}
+					l.B[i] = 0
+				}
+			}
+			if _, err := c.RegisterModel(buildModule(t, zero, "zero")); err != nil {
+				t.Fatal(err)
+			}
+			user := &userModel{net: zero, stability: 0.5}
+			ch := netlink.New(eng, cpu, ksim.DefaultCosts(), nil)
+			svc := NewSlowPath(c, ch, user, fixedEvaluator{tc.loss}, user)
+			r := &serviceRig{eng: eng, cpu: cpu, core: c, ch: ch, user: user, svc: svc}
+			r.pushBatch(4, 1)
+
+			st := svc.Stats()
+			wantUpdates, wantSkips := int64(0), int64(1)
+			if tc.install {
+				wantUpdates, wantSkips = 1, 0
+			}
+			if st.Updates != wantUpdates || st.SkippedByNecessity != wantSkips {
+				t.Errorf("loss %v vs threshold %v: updates=%d skips=%d, want %d/%d",
+					tc.loss, threshold, st.Updates, st.SkippedByNecessity, wantUpdates, wantSkips)
+			}
+			if st.LastFidelity != tc.loss {
+				t.Errorf("LastFidelity = %v, want exact %v", st.LastFidelity, tc.loss)
+			}
+		})
+	}
+}
+
+// TestSendToKernelAbortedByClose covers the netlink side of the install
+// pipeline: a downcall in flight when the channel closes must not run its
+// kernel-side completion (the contract says done never runs after Close) and
+// must be counted.
+func TestSendToKernelAbortedByClose(t *testing.T) {
+	eng := netsim.NewEngine()
+	cpu := ksim.NewCPU(eng, 4)
+	ch := netlink.NewChannel(eng, cpu, ksim.DefaultCosts(), nil)
+	ran := false
+	if err := ch.SendToKernel(64, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	ch.Close()
+	eng.Run()
+	if ran {
+		t.Error("done must not run when Close races the downcall")
+	}
+	if got := ch.Stats().DownAborted; got != 1 {
+		t.Errorf("DownAborted = %d, want 1", got)
+	}
+}

@@ -68,27 +68,31 @@ func TestGoldenSuiteSerialVsParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite golden run is slow; skipped with -short")
 	}
-	// The suite must include the flow-churn experiment (#20): its sharded
+	// The suite must include the flow-churn experiment (#20) — its sharded
 	// cache and timing-wheel sweeper are exactly the structures whose
-	// iteration order could silently go nondeterministic.
-	if _, ok := ByID("flow-churn"); !ok {
-		t.Fatal("flow-churn missing from the registry; golden coverage would silently shrink")
+	// iteration order could silently go nondeterministic — and the
+	// fleet-scale experiment (#21), whose index-ordered batch merge and
+	// bounded install queue are the distribution plane's §4d obligations.
+	for _, id := range []string{"flow-churn", "fleet-scale"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("%s missing from the registry; golden coverage would silently shrink", id)
+		}
 	}
 	runSuite := func(parallel int) (report string, prom, trace []byte) {
 		reg := obs.NewRegistry()
 		tr := obs.NewTracer(0)
 		cfg := Config{Scale: 0.02, Seed: 3, Obs: obs.New(reg, tr)}
 		var b bytes.Buffer
-		covered := false
+		covered := map[string]bool{}
 		for _, sr := range RunSuite(All(), cfg, SuiteOptions{Parallel: parallel}) {
-			if sr.Result.ID == "flow-churn" {
-				covered = true
-			}
+			covered[sr.Result.ID] = true
 			b.WriteString(sr.Result.String())
 			b.WriteByte('\n')
 		}
-		if !covered {
-			t.Fatal("suite run did not execute flow-churn")
+		for _, id := range []string{"flow-churn", "fleet-scale"} {
+			if !covered[id] {
+				t.Fatalf("suite run did not execute %s", id)
+			}
 		}
 		var tb bytes.Buffer
 		if err := tr.WriteChromeTrace(&tb); err != nil {

@@ -165,6 +165,7 @@ func All() []Runner {
 		{"abl-update", "Ablation: active-standby switch vs blocking install (§3.4)", AblUpdate},
 		{"resilience", "Goodput under injected faults (graceful degradation)", FigResilience},
 		{"flow-churn", "Flow-cache churn at scale: sharded cache + incremental sweep", FigFlowChurn},
+		{"fleet-scale", "Fleet snapshot distribution: goodput + staleness vs member count", FigFleetScale},
 	}
 }
 

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/fault"
+	"github.com/liteflow-sim/liteflow/internal/fleet"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
+	"github.com/liteflow-sim/liteflow/internal/topo"
+)
+
+// fleetDriftUser is the fleet scenario's slow-path model: stability is
+// constant (the correctness gate opens after one window), and every
+// driftEvery pooled adaptation rounds the output bias jumps by ±0.5 — a
+// traffic-dynamics step large enough to trip the necessity gate and mint a
+// new fleet epoch, after which the rebuilt snapshot tracks the drifted net
+// and the gate goes quiet until the next jump.
+type fleetDriftUser struct {
+	net        *nn.Network
+	driftEvery int // 0 disables drift
+	rounds     int
+	sign       float64
+}
+
+func (u *fleetDriftUser) Freeze() *nn.Network          { return u.net }
+func (u *fleetDriftUser) Stability() float64           { return 0.5 }
+func (u *fleetDriftUser) Infer(in []float64) []float64 { return u.net.Infer(in) }
+func (u *fleetDriftUser) Adapt([]core.Sample) {
+	u.rounds++
+	if u.driftEvery > 0 && u.rounds%u.driftEvery == 0 {
+		out := u.net.Layers[len(u.net.Layers)-1]
+		out.B[0] += u.sign * 0.5
+		u.sign = -u.sign
+	}
+}
+
+// FleetScenarioOpts parameterizes one fleet distribution-plane run. The same
+// scenario backs the fleet-scale experiment, cmd/lfsim -fleet, and the
+// chaos-recovery acceptance test.
+type FleetScenarioOpts struct {
+	Members     int // fabric hosts = fleet members (rounded up to even)
+	Seed        int64
+	Dur         netsim.Time // drift-active window; the run continues to 2×Dur as a recovery tail
+	Chaos       bool        // odd members suffer injected slow-path outages
+	Obs         obs.Scope
+	CacheShards int
+}
+
+// FleetScenarioResult reports one scenario run.
+type FleetScenarioResult struct {
+	Members    int
+	Queries    int64   // member datapath queries during the measured window
+	GoodputQPS float64 // Queries per measured second, fleet-wide
+	MeanStale  float64 // time-averaged stale-member count over the whole run
+	PeakStale  int
+	Epochs     []int64 // final per-member epochs
+	Stats      fleet.Stats
+}
+
+// RunFleetScenario provisions a spine–leaf fabric with one kernel datapath
+// per host and a single fleet.Controller slow path, drives per-member query
+// + sample streams, and lets a drifting model force versioned fan-outs. With
+// Chaos, odd members go dark on a jittered schedule: their watchdogs degrade
+// the core, installs park, and the recovery tail (Dur..2×Dur, drift off)
+// must bring every member back to epoch parity.
+func RunFleetScenario(o FleetScenarioOpts) FleetScenarioResult {
+	const (
+		aggDivisor = 100 // aggregation rounds per measured window
+		driftEvery = 6   // pooled rounds between traffic-dynamics steps
+	)
+	dur := o.Dur
+	agg := dur / aggDivisor
+	if agg < 200*netsim.Microsecond {
+		agg = 200 * netsim.Microsecond
+	}
+	end := 2 * dur
+
+	eng := netsim.NewEngine()
+	hostsPerLeaf := (o.Members + 1) / 2
+	if hostsPerLeaf < 1 {
+		hostsPerLeaf = 1
+	}
+	fabric := topo.BuildSpineLeaf(eng, topo.DefaultSpineLeafOpts(hostsPerLeaf), opt.WithScope(o.Obs))
+	fabric.ProvisionCPUs(4, ksim.DefaultCosts(), opt.WithScope(o.Obs))
+	members := len(fabric.Hosts)
+
+	user := &fleetDriftUser{
+		net:        nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, o.Seed),
+		driftEvery: driftEvery,
+		sign:       1,
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.FlowCacheShards = o.CacheShards
+	spec := topo.FleetSpec{
+		Costs: ksim.DefaultCosts(),
+		Core:  ccfg,
+		Fleet: fleet.Config{
+			BatchInterval:         agg,
+			AggregationInterval:   agg,
+			MaxConcurrentInstalls: 2,
+		},
+		CoreOptions: func(host int) []opt.Option {
+			// Watchdog window: a few missed batch intervals mean the slow
+			// path is dark for this member; degrade instead of waiting on a
+			// half-installed standby.
+			return []opt.Option{opt.WithWatchdog(opt.Watchdog{Window: int64(4 * agg)})}
+		},
+	}
+	if o.Chaos {
+		spec.MemberOptions = func(host int) []opt.Option {
+			if host%2 == 0 {
+				return nil
+			}
+			inj := fault.New(fault.Profile{
+				OutagePeriod:   int64(dur / 4),
+				OutageDuration: int64(dur / 10),
+			}, o.Seed*1009+int64(host), o.Obs)
+			return []opt.Option{opt.WithFaults(inj)}
+		}
+	}
+	ctrl := fabric.ProvisionFleet(spec, user, user, user, opt.WithScope(o.Obs))
+	if err := ctrl.Start(); err != nil {
+		panic("experiments: fleet scenario: " + err.Error())
+	}
+
+	// Per-member datapath: a seeded query stream against the member core,
+	// with every query mirrored into the member's sample batch (the paper's
+	// kernel-side collector). Feeding continues through the recovery tail so
+	// parked members have batches to catch up on.
+	var queries int64
+	measuring := true
+	queryEvery := agg / 8
+	if queryEvery < 10*netsim.Microsecond {
+		queryEvery = 10 * netsim.Microsecond
+	}
+	for i, m := range ctrl.Members() {
+		i, m := i, m
+		rng := rand.New(rand.NewSource(o.Seed + 31*int64(i)))
+		in := make([]int64, 4)
+		out := make([]int64, 1)
+		flow := netsim.FlowID(i + 1)
+		var tick func()
+		tick = func() {
+			sample := core.Sample{Input: make([]float64, 4), At: eng.Now()}
+			for k := range in {
+				sample.Input[k] = rng.Float64()*2 - 1
+				in[k] = int64(sample.Input[k] * 100)
+			}
+			if err := m.Core.QueryModel(flow, in, out); err == nil && measuring {
+				queries++
+			}
+			m.Chan.Push(core.EncodeSample(sample))
+			if eng.Now() < end {
+				eng.After(queryEvery, tick)
+			}
+		}
+		eng.After(queryEvery, tick)
+	}
+
+	// Staleness integral: sample the lag gauge on a fixed cadence.
+	staleSum, staleSamples, peakStale := 0.0, 0, 0
+	var sampleStale func()
+	sampleStale = func() {
+		s := ctrl.StaleMembers()
+		staleSum += float64(s)
+		staleSamples++
+		if s > peakStale {
+			peakStale = s
+		}
+		if eng.Now() < end {
+			eng.After(agg/2, sampleStale)
+		}
+	}
+	eng.After(agg/2, sampleStale)
+
+	// Drift stops at the end of the measured window; the tail is pure
+	// distribution-plane recovery (outage gaps let dark members catch up).
+	eng.At(dur, func() { user.driftEvery = 0; measuring = false })
+
+	eng.RunUntil(dur)
+	for eng.Now() < end && ctrl.StaleMembers() > 0 {
+		eng.RunUntil(eng.Now() + agg)
+	}
+	ctrl.Stop()
+	for _, m := range ctrl.Members() {
+		m.Core.StopSweeper()
+	}
+
+	return FleetScenarioResult{
+		Members:    members,
+		Queries:    queries,
+		GoodputQPS: float64(queries) / (float64(dur) / 1e9),
+		MeanStale:  staleSum / float64(staleSamples),
+		PeakStale:  peakStale,
+		Epochs:     ctrl.MemberEpochs(),
+		Stats:      ctrl.Stats(),
+	}
+}
+
+// FigFleetScale (experiment #21, beyond the paper) measures the snapshot
+// distribution plane as the fleet grows: one controller slow path serving
+// 2/4/8 kernel datapaths, clean versus chaos (injected slow-path outages on
+// odd members). Goodput is the fleet-wide model-query rate — it must scale
+// with member count in both variants because queries never block on the
+// control plane — and staleness is the time-averaged number of members
+// lagging the fleet epoch, which chaos inflates (parked installs ride out
+// outage windows) but must drain to zero by the end of every run's recovery
+// tail.
+func FigFleetScale(cfg Config) Result {
+	res := Result{ID: "fleet-scale", Title: "Fleet snapshot distribution: goodput and staleness vs member count",
+		XLabel: "members", YLabel: "queries/s | mean stale members"}
+
+	const baseDur = 4 * netsim.Second
+	dur := cfg.dur(baseDur)
+
+	goodputClean := Series{Name: "goodput-clean"}
+	goodputChaos := Series{Name: "goodput-chaos"}
+	staleClean := Series{Name: "stale-clean"}
+	staleChaos := Series{Name: "stale-chaos"}
+
+	for _, members := range []int{2, 4, 8} {
+		for _, chaos := range []bool{false, true} {
+			r := RunFleetScenario(FleetScenarioOpts{
+				Members: members, Seed: cfg.Seed, Dur: dur, Chaos: chaos,
+				Obs: cfg.Obs, CacheShards: cfg.CacheShards,
+			})
+			x := float64(r.Members)
+			if chaos {
+				goodputChaos.X = append(goodputChaos.X, x)
+				goodputChaos.Y = append(goodputChaos.Y, r.GoodputQPS)
+				staleChaos.X = append(staleChaos.X, x)
+				staleChaos.Y = append(staleChaos.Y, r.MeanStale)
+			} else {
+				goodputClean.X = append(goodputClean.X, x)
+				goodputClean.Y = append(goodputClean.Y, r.GoodputQPS)
+				staleClean.X = append(staleClean.X, x)
+				staleClean.Y = append(staleClean.Y, r.MeanStale)
+			}
+			variant := "clean"
+			if chaos {
+				variant = "chaos"
+			}
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%d members %s: %d epochs, %d installs (%d parked, %d abandoned, %d deferred), %d outage drops, peak stale %d, final stale %d",
+				r.Members, variant, r.Stats.Epoch, r.Stats.MemberInstalls,
+				r.Stats.InstallsParked, r.Stats.InstallsAbandoned, r.Stats.InstallsDeferred,
+				r.Stats.OutageDrops, r.PeakStale, r.Stats.StaleMembers))
+		}
+	}
+	res.Series = append(res.Series, goodputClean, goodputChaos, staleClean, staleChaos)
+	return res
+}

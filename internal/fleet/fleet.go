@@ -1,0 +1,591 @@
+// Package fleet is the snapshot distribution plane: one userspace slow path
+// serving many kernel datapaths. The paper's service (§4.1) adapts a model
+// for exactly one core; the ROADMAP's production target — millions of users —
+// needs one Controller that owns the Freezer/Evaluator/Adapter, aggregates
+// sample batches across N per-host (Core, netlink.Channel) members, runs the
+// correctness and necessity gates once on the pooled stream, and fans
+// versioned snapshot installs back out.
+//
+// Versioning and staleness: every fan-out bumps a fleet-wide epoch; each
+// member records the epoch it last activated (liteflow_fleet_member_epoch)
+// and the controller gauges how many members lag the fleet epoch
+// (liteflow_fleet_stale_members). Install concurrency is bounded
+// (Config.MaxConcurrentInstalls), so a large fleet rolls out in waves rather
+// than bursting the control plane. A member inside an outage or degraded
+// window parks the install — the module stays registered as that member's
+// standby (core.ErrDegraded semantics) — and catches up on its first
+// post-recovery batch, either activating the parked standby (still current)
+// or re-enqueueing an install of the current version (superseded meanwhile).
+//
+// Determinism (DESIGN.md §4d): member batches are pooled in ascending member
+// index order on every aggregation tick, the fan-out queue is filled in the
+// same order, and everything runs on the single-goroutine engine, so a fleet
+// run is byte-identical across repetitions and serial-vs-parallel harnesses.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/liteflow-sim/liteflow/internal/codegen"
+	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/fault"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netlink"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
+	"github.com/liteflow-sim/liteflow/internal/quant"
+)
+
+// Config tunes the distribution plane.
+type Config struct {
+	// BatchInterval is each member channel's kernel→controller delivery
+	// period (the paper's T). Zero means 100 ms.
+	BatchInterval netsim.Time
+	// AggregationInterval is the pooled adapt/gate cadence. Zero means
+	// BatchInterval.
+	AggregationInterval netsim.Time
+	// MaxConcurrentInstalls bounds how many member installs may be in
+	// flight simultaneously during a fan-out wave. Zero means 4.
+	MaxConcurrentInstalls int
+	// NamePrefix names generated snapshot modules (suffix is the epoch).
+	// Zero means "fleet".
+	NamePrefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = 100 * netsim.Millisecond
+	}
+	if c.AggregationInterval <= 0 {
+		c.AggregationInterval = c.BatchInterval
+	}
+	if c.MaxConcurrentInstalls <= 0 {
+		c.MaxConcurrentInstalls = 4
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "fleet"
+	}
+	return c
+}
+
+// Stats is a snapshot of the controller's counters.
+type Stats struct {
+	Members            int
+	Epoch              int64
+	StaleMembers       int
+	Aggregations       int64 // pooled adapt rounds with at least one sample
+	Batches            int64 // member batches accepted
+	Samples            int64 // samples pooled across all members
+	Converged          int64 // aggregation rounds that passed the correctness gate
+	FidelityChecks     int64 // necessity evaluations on the pooled stream
+	SkippedByNecessity int64
+	VersionsBuilt      int64 // fleet epochs minted (one module each)
+	BuildFailures      int64
+	MemberInstalls     int64 // per-member installs activated
+	InstallsParked     int64 // member installs parked on a degraded core
+	InstallsAbandoned  int64 // member installs dropped (rejection, closed channel)
+	InstallsDeferred   int64 // build rounds deferred because a fan-out was in flight
+	OutageDrops        int64 // member batches dropped inside injected outages
+	Malformed          int64
+	FidelityMismatches int64
+	LastStability      float64
+	LastFidelity       float64
+}
+
+type fleetMetrics struct {
+	aggregations   *obs.Counter
+	batches        *obs.Counter
+	samples        *obs.Counter
+	converged      *obs.Counter
+	fidelityChecks *obs.Counter
+	skipped        *obs.Counter
+	versions       *obs.Counter
+	buildFailures  *obs.Counter
+	installs       *obs.Counter
+	parked         *obs.Counter
+	abandoned      *obs.Counter
+	deferred       *obs.Counter
+	outageDrops    *obs.Counter
+	malformed      *obs.Counter
+	mismatched     *obs.Counter
+	staleMembers   *obs.Gauge
+	lastStability  *obs.Gauge
+	lastFidelity   *obs.Gauge
+}
+
+func newFleetMetrics(sc obs.Scope) fleetMetrics {
+	return fleetMetrics{
+		aggregations:   sc.Counter("liteflow_fleet_aggregations_total", "pooled adapt rounds with at least one sample"),
+		batches:        sc.Counter("liteflow_fleet_batches_total", "member sample batches accepted by the controller"),
+		samples:        sc.Counter("liteflow_fleet_samples_total", "samples pooled across all members"),
+		converged:      sc.Counter("liteflow_fleet_converged_total", "aggregation rounds that passed the correctness gate"),
+		fidelityChecks: sc.Counter("liteflow_fleet_fidelity_checks_total", "necessity evaluations on the pooled stream"),
+		skipped:        sc.Counter("liteflow_fleet_skipped_by_necessity_total", "builds skipped because pooled fidelity loss was below threshold"),
+		versions:       sc.Counter("liteflow_fleet_versions_total", "fleet snapshot epochs minted"),
+		buildFailures:  sc.Counter("liteflow_fleet_build_failures_total", "snapshot build failures (the next aggregation round retries)"),
+		installs:       sc.Counter("liteflow_fleet_member_installs_total", "per-member snapshot installs activated"),
+		parked:         sc.Counter("liteflow_fleet_installs_parked_total", "member installs parked on a degraded core until recovery"),
+		abandoned:      sc.Counter("liteflow_fleet_installs_abandoned_total", "member installs dropped: module rejected or channel closed"),
+		deferred:       sc.Counter("liteflow_fleet_installs_deferred_total", "build rounds deferred because a fan-out was still in flight"),
+		outageDrops:    sc.Counter("liteflow_fleet_outage_drops_total", "member batches dropped inside injected outages"),
+		malformed:      sc.Counter("liteflow_fleet_malformed_total", "member messages rejected by sample validation"),
+		mismatched:     sc.Counter("liteflow_fleet_fidelity_size_mismatch_total", "pooled fidelity samples skipped for output-size mismatch"),
+		staleMembers:   sc.Gauge("liteflow_fleet_stale_members", "members whose installed epoch lags the fleet epoch"),
+		lastStability:  sc.Gauge("liteflow_fleet_last_stability", "stability metric from the latest pooled round"),
+		lastFidelity:   sc.Gauge("liteflow_fleet_last_fidelity", "minimal pooled fidelity loss from the latest necessity check"),
+	}
+}
+
+// Member is one kernel datapath served by the controller.
+type Member struct {
+	Index int
+	Core  *core.Core
+	Chan  *netlink.Channel
+
+	epoch       int64 // last activated fleet epoch
+	parkedEpoch int64 // epoch of a standby parked by degradation (0 = none)
+	installing  bool
+	pending     []core.Sample
+
+	inj        *fault.Injector
+	epochGauge *obs.Gauge
+}
+
+// Epoch returns the fleet epoch this member last activated.
+func (m *Member) Epoch() int64 { return m.epoch }
+
+// installJob is one queued member install of a specific version.
+type installJob struct {
+	m     *Member
+	mod   *codegen.Module
+	prog  *quant.Program
+	epoch int64
+}
+
+// Controller is the fleet's single slow path.
+type Controller struct {
+	eng     *netsim.Engine
+	cfg     Config
+	coreCfg core.Config // gate parameters + quantization config
+
+	freezer   core.Freezer
+	evaluator core.Evaluator
+	adapter   core.Adapter
+
+	members []*Member
+	epoch   int64
+	curMod  *codegen.Module
+	curProg *quant.Program // userspace reference copy of the current version
+
+	stabilityHist []float64
+	queue         []installJob
+	inFlight      int
+	running       bool
+
+	sc  obs.Scope
+	met fleetMetrics
+}
+
+// New returns a controller. coreCfg supplies the gate parameters (Alpha,
+// OutMin/OutMax, StabilityWindow/Tolerance) and the quantization config used
+// for snapshot generation; members keep their own core.Config for datapath
+// concerns. opt.WithScope attaches telemetry.
+func New(eng *netsim.Engine, coreCfg core.Config, f core.Freezer, e core.Evaluator, a core.Adapter, cfg Config, options ...opt.Option) *Controller {
+	o := opt.Resolve(options)
+	c := &Controller{
+		eng: eng, cfg: cfg.withDefaults(), coreCfg: coreCfg,
+		freezer: f, evaluator: e, adapter: a, sc: o.Scope,
+	}
+	c.met = newFleetMetrics(c.sc)
+	return c
+}
+
+// AddMember enrolls one (core, channel) pair. The channel's delivery
+// callback is replaced with the controller's aggregator, and the member
+// core's watchdog (when configured) is armed — the controller is its slow
+// path now. opt.WithFaults subjects this member's batch stream to injected
+// outages (the controller drops its batches inside outage windows, which is
+// the silence the member's watchdog detects). Call before Start.
+func (c *Controller) AddMember(co *core.Core, ch *netlink.Channel, options ...opt.Option) *Member {
+	o := opt.Resolve(options)
+	m := &Member{Index: len(c.members), Core: co, Chan: ch, inj: o.Faults}
+	msc := c.sc.With(obs.Label{Key: "member", Value: strconv.Itoa(m.Index)})
+	m.epochGauge = msc.Gauge("liteflow_fleet_member_epoch", "fleet epoch this member last activated")
+	ch.SetDeliver(func(batch []netlink.Message) { c.handleMemberBatch(m, batch) })
+	co.AttachSlowPath()
+	c.members = append(c.members, m)
+	return m
+}
+
+// Members returns the enrolled members in index order.
+func (c *Controller) Members() []*Member { return c.members }
+
+// Epoch returns the current fleet snapshot epoch.
+func (c *Controller) Epoch() int64 { return c.epoch }
+
+// StaleMembers returns how many members lag the fleet epoch.
+func (c *Controller) StaleMembers() int {
+	stale := 0
+	for _, m := range c.members {
+		if m.epoch < c.epoch {
+			stale++
+		}
+	}
+	return stale
+}
+
+// MemberEpochs returns every member's installed epoch in index order.
+func (c *Controller) MemberEpochs() []int64 {
+	es := make([]int64, len(c.members))
+	for i, m := range c.members {
+		es[i] = m.epoch
+	}
+	return es
+}
+
+// Start provisions every member with the initial model (epoch 1, installed
+// directly — provisioning predates the datapath, so there is no netlink
+// transfer to model), then begins per-member batching and the aggregation
+// tick chain. It returns an error if the initial snapshot cannot be built.
+func (c *Controller) Start() error {
+	if c.running {
+		return nil
+	}
+	if len(c.members) == 0 {
+		return fmt.Errorf("fleet: no members enrolled")
+	}
+	prog := quant.Quantize(c.freezer.Freeze(), c.coreCfg.Quant)
+	mod, err := codegen.Build(prog, c.cfg.NamePrefix+"_1")
+	if err != nil {
+		return fmt.Errorf("fleet: initial snapshot: %w", err)
+	}
+	c.epoch = 1
+	c.curMod, c.curProg = mod, prog
+	for _, m := range c.members {
+		if _, err := m.Core.RegisterModel(mod); err != nil {
+			return fmt.Errorf("fleet: provision member %d: %w", m.Index, err)
+		}
+		m.epoch = 1
+		m.epochGauge.Set(1)
+	}
+	c.met.staleMembers.Set(0)
+	c.running = true
+	for _, m := range c.members {
+		m.Chan.StartBatching(c.cfg.BatchInterval)
+	}
+	c.scheduleAggregation()
+	return nil
+}
+
+// Stop halts the aggregation chain and member batching.
+func (c *Controller) Stop() {
+	c.running = false
+	for _, m := range c.members {
+		m.Chan.StopBatching()
+		m.Core.StopWatchdog()
+	}
+}
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Members:            len(c.members),
+		Epoch:              c.epoch,
+		StaleMembers:       c.StaleMembers(),
+		Aggregations:       c.met.aggregations.Value(),
+		Batches:            c.met.batches.Value(),
+		Samples:            c.met.samples.Value(),
+		Converged:          c.met.converged.Value(),
+		FidelityChecks:     c.met.fidelityChecks.Value(),
+		SkippedByNecessity: c.met.skipped.Value(),
+		VersionsBuilt:      c.met.versions.Value(),
+		BuildFailures:      c.met.buildFailures.Value(),
+		MemberInstalls:     c.met.installs.Value(),
+		InstallsParked:     c.met.parked.Value(),
+		InstallsAbandoned:  c.met.abandoned.Value(),
+		InstallsDeferred:   c.met.deferred.Value(),
+		OutageDrops:        c.met.outageDrops.Value(),
+		Malformed:          c.met.malformed.Value(),
+		FidelityMismatches: c.met.mismatched.Value(),
+		LastStability:      c.met.lastStability.Value(),
+		LastFidelity:       c.met.lastFidelity.Value(),
+	}
+}
+
+// handleMemberBatch buffers one member's delivered batch for the next
+// aggregation tick. A batch arriving inside that member's injected outage is
+// dropped wholesale — exactly the silence its watchdog detects — so the
+// member degrades, parks any install, and catches up here on recovery.
+func (c *Controller) handleMemberBatch(m *Member, batch []netlink.Message) {
+	now := c.eng.Now()
+	if m.inj.ServiceDown(int64(now)) {
+		c.met.outageDrops.Inc()
+		c.sc.Event2("fleet", "outage_drop", now, "member", int64(m.Index), "msgs", int64(len(batch)))
+		return
+	}
+	m.Core.NoteSlowPathAlive()
+	c.catchUp(m)
+	for _, msg := range batch {
+		if msg.Kind != netlink.KindSample {
+			continue
+		}
+		sm, err := core.ParseSample(msg)
+		if err != nil {
+			c.met.malformed.Inc()
+			continue
+		}
+		m.pending = append(m.pending, sm)
+	}
+	c.met.batches.Inc()
+}
+
+// catchUp brings a just-proven-alive member back to epoch parity. A standby
+// parked at the current epoch activates in place; a parked or missed epoch
+// that was superseded re-enqueues an install of the current version.
+func (c *Controller) catchUp(m *Member) {
+	if m.parkedEpoch != 0 {
+		target := m.parkedEpoch
+		m.parkedEpoch = 0
+		if target == c.epoch && !m.Core.Degraded() {
+			if err := m.Core.Activate(); err == nil {
+				m.epoch = target
+				m.epochGauge.Set(float64(target))
+				c.met.installs.Inc()
+				c.sc.Event2("fleet", "parked_activate", c.eng.Now(), "member", int64(m.Index), "epoch", target)
+				c.updateStale()
+				return
+			}
+		}
+		// Superseded (or activation still refused): fall through and
+		// re-enqueue the current version below.
+	}
+	if m.epoch < c.epoch && !m.installing && !c.queuedFor(m) {
+		c.enqueue(installJob{m: m, mod: c.curMod, prog: c.curProg, epoch: c.epoch})
+	}
+}
+
+func (c *Controller) queuedFor(m *Member) bool {
+	for _, j := range c.queue {
+		if j.m == m {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) scheduleAggregation() {
+	c.eng.After(c.cfg.AggregationInterval, func() {
+		if !c.running {
+			return
+		}
+		c.aggregate()
+		c.scheduleAggregation()
+	})
+}
+
+// aggregate is one slow-path round over the pooled stream: merge member
+// buffers in index order, adapt once, run the correctness and necessity
+// gates once, and on necessity mint a new epoch and fan it out.
+func (c *Controller) aggregate() {
+	var pool []core.Sample
+	for _, m := range c.members { // ascending index: deterministic merge
+		pool = append(pool, m.pending...)
+		m.pending = m.pending[:0]
+	}
+	if len(pool) == 0 {
+		return
+	}
+	c.met.aggregations.Inc()
+	c.met.samples.Add(int64(len(pool)))
+
+	c.adapter.Adapt(pool)
+	c.met.lastStability.Set(c.evaluator.Stability())
+
+	if !c.converged() {
+		return
+	}
+	c.met.converged.Inc()
+	c.evaluateNecessity(pool)
+}
+
+// converged applies the correctness gate to the pooled stability metric —
+// identical policy to the single-core service (paper §3.2), run once for the
+// whole fleet.
+func (c *Controller) converged() bool {
+	c.stabilityHist = append(c.stabilityHist, c.met.lastStability.Value())
+	w := c.coreCfg.StabilityWindow
+	if len(c.stabilityHist) > w {
+		c.stabilityHist = c.stabilityHist[len(c.stabilityHist)-w:]
+	}
+	if len(c.stabilityHist) < w {
+		return false
+	}
+	lo, hi := c.stabilityHist[0], c.stabilityHist[0]
+	for _, v := range c.stabilityHist[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := math.Max(math.Abs(hi), math.Abs(lo))
+	if scale < 1e-12 {
+		return true
+	}
+	return (hi-lo)/scale <= c.coreCfg.StabilityTolerance
+}
+
+// evaluateNecessity computes the minimal fidelity loss of the pooled batch
+// against the controller's own reference copy of the current snapshot
+// program. Unlike the single-core service — which round-trips inputs to the
+// kernel — the fleet controller evaluates in userspace: shipping N members'
+// worth of queries down and back would multiply cross-space cost by the
+// fleet size for an answer the reference program gives bit-identically.
+func (c *Controller) evaluateNecessity(pool []core.Sample) {
+	if c.curProg == nil {
+		return
+	}
+	c.met.fidelityChecks.Inc()
+	prog := c.curProg
+	in := make([]int64, prog.InputSize())
+	out := make([]int64, prog.OutputSize())
+	minLoss := math.Inf(1)
+	for _, sm := range pool {
+		if len(sm.Input) != prog.InputSize() {
+			continue
+		}
+		prog.QuantizeInput(sm.Input, in)
+		prog.Infer(in, out)
+		kernelOut := prog.DequantizeOutput(out, nil)
+		userOut := c.evaluator.Infer(sm.Input)
+		if len(userOut) != len(kernelOut) {
+			c.met.mismatched.Inc()
+			continue
+		}
+		l := 0.0
+		for i := range userOut {
+			l += math.Abs(kernelOut[i] - userOut[i])
+		}
+		if l < minLoss {
+			minLoss = l
+		}
+	}
+	if math.IsInf(minLoss, 1) {
+		return
+	}
+	c.met.lastFidelity.Set(minLoss)
+	threshold := c.coreCfg.Alpha * (c.coreCfg.OutMax - c.coreCfg.OutMin)
+	if minLoss <= threshold {
+		c.met.skipped.Inc()
+		return
+	}
+	c.buildAndFanOut()
+}
+
+// buildAndFanOut mints the next epoch — one freeze, one quantization, one
+// codegen — and enqueues an install for every member in index order. A
+// fan-out still in flight defers the build: overlapping waves would ship
+// distinct versions to different members and break epoch monotonicity.
+func (c *Controller) buildAndFanOut() {
+	if c.inFlight > 0 || len(c.queue) > 0 {
+		c.met.deferred.Inc()
+		return
+	}
+	now := c.eng.Now()
+	next := c.epoch + 1
+	name := c.cfg.NamePrefix + "_" + strconv.FormatInt(next, 10)
+	prog := quant.Quantize(c.freezer.Freeze(), c.coreCfg.Quant)
+	mod, err := codegen.Build(prog, name)
+	if err != nil {
+		// The next converged round retries with a fresh freeze.
+		c.met.buildFailures.Inc()
+		c.sc.EventStr("fleet", "build_failure", now, "model", name)
+		return
+	}
+	c.epoch = next
+	c.curMod, c.curProg = mod, prog
+	c.met.versions.Inc()
+	c.sc.Event2("fleet", "version", now, "epoch", next, "members", int64(len(c.members)))
+	for _, m := range c.members {
+		c.enqueue(installJob{m: m, mod: mod, prog: prog, epoch: next})
+	}
+	c.updateStale()
+}
+
+// enqueue adds one member install and pumps the bounded-concurrency queue.
+func (c *Controller) enqueue(j installJob) {
+	c.queue = append(c.queue, j)
+	c.pump()
+}
+
+// pump starts queued installs while concurrency slots are free.
+func (c *Controller) pump() {
+	for c.inFlight < c.cfg.MaxConcurrentInstalls && len(c.queue) > 0 {
+		j := c.queue[0]
+		c.queue = c.queue[1:]
+		c.install(j)
+	}
+}
+
+// install ships one version to one member over its netlink channel: the
+// parameter transfer is charged to the member's kernel CPU, then
+// RegisterModel+Activate run the active-standby switch. ErrDegraded parks
+// the registered standby for catchUp; other failures count as abandoned.
+func (c *Controller) install(j installJob) {
+	m := j.m
+	m.installing = true
+	c.inFlight++
+	finish := func() {
+		m.installing = false
+		c.inFlight--
+		c.updateStale()
+		c.pump()
+	}
+	sendErr := m.Chan.SendToKernel(j.prog.NumParams()*8, func() {
+		now := c.eng.Now()
+		if m.Core.CPU != nil {
+			m.Core.CPU.Charge(ksim.Kernel,
+				m.Core.Costs.SnapshotInstallPerParam*netsim.Time(j.prog.NumParams()))
+		}
+		if _, err := m.Core.RegisterModel(j.mod); err != nil {
+			c.met.abandoned.Inc()
+			c.sc.Event2("fleet", "install_rejected", now, "member", int64(m.Index), "epoch", j.epoch)
+			finish()
+			return
+		}
+		if err := m.Core.Activate(); err != nil {
+			// ErrDegraded keeps the standby parked in the member core;
+			// anything else means the switch is genuinely lost.
+			if errors.Is(err, core.ErrDegraded) {
+				m.parkedEpoch = j.epoch
+				c.met.parked.Inc()
+				c.sc.Event2("fleet", "install_parked", now, "member", int64(m.Index), "epoch", j.epoch)
+			} else {
+				c.met.abandoned.Inc()
+				c.sc.Event2("fleet", "install_rejected", now, "member", int64(m.Index), "epoch", j.epoch)
+			}
+			finish()
+			return
+		}
+		m.epoch = j.epoch
+		m.epochGauge.Set(float64(j.epoch))
+		c.met.installs.Inc()
+		c.sc.Event2("fleet", "install", now, "member", int64(m.Index), "epoch", j.epoch)
+		finish()
+	})
+	if sendErr != nil {
+		c.met.abandoned.Inc()
+		c.sc.Event2("fleet", "install_rejected", c.eng.Now(), "member", int64(m.Index), "epoch", j.epoch)
+		finish()
+	}
+}
+
+// updateStale refreshes the staleness gauge after any epoch movement.
+func (c *Controller) updateStale() {
+	c.met.staleMembers.Set(float64(c.StaleMembers()))
+}

@@ -57,6 +57,7 @@ type Stats struct {
 	Dropped     int64 // messages discarded by the bounded kernel buffer
 	Downcalls   int64 // userspace→kernel deliveries
 	DownBytes   int64
+	DownAborted int64 // downcalls whose completion was voided by a mid-flight Close
 	Undelivered int64 // batched messages that fired with no delivery callback
 }
 
@@ -68,6 +69,7 @@ type chanMetrics struct {
 	dropped     *obs.Counter
 	downcalls   *obs.Counter
 	downBytes   *obs.Counter
+	downAborted *obs.Counter
 	undelivered *obs.Counter
 }
 
@@ -79,6 +81,7 @@ func newChanMetrics(sc obs.Scope) chanMetrics {
 		dropped:     sc.Counter("liteflow_netlink_dropped_total", "messages displaced by the bounded kernel buffer"),
 		downcalls:   sc.Counter("liteflow_netlink_downcalls_total", "userspace→kernel transfers"),
 		downBytes:   sc.Counter("liteflow_netlink_down_bytes_total", "userspace→kernel payload bytes"),
+		downAborted: sc.Counter("liteflow_netlink_downcalls_aborted_total", "downcall completions voided because the channel closed mid-flight"),
 		undelivered: sc.Counter("liteflow_netlink_undelivered_total", "batched messages discarded because no delivery callback was installed"),
 	}
 }
@@ -143,6 +146,7 @@ func (c *Channel) Stats() Stats {
 		Dropped:     c.met.dropped.Value(),
 		Downcalls:   c.met.downcalls.Value(),
 		DownBytes:   c.met.downBytes.Value(),
+		DownAborted: c.met.downAborted.Value(),
 		Undelivered: c.met.undelivered.Value(),
 	}
 }
@@ -316,6 +320,15 @@ func (c *Channel) SendToKernel(payloadBytes int, done func()) error {
 	c.cpu.Charge(ksim.Kernel, c.costs.NetlinkPerMsg+netsim.Time(payloadBytes)*c.costs.NetlinkPerByte)
 	delay := c.costs.CrossSpaceLatency + c.cpu.QueueDelay()
 	c.eng.After(delay, func() {
+		if c.closed {
+			// Close raced the downcall mid-flight: the kernel side is gone,
+			// so the completion must not run against it. Counted so callers
+			// can see the loss (the doc contract is "never invokes done
+			// after Close").
+			c.met.downAborted.Inc()
+			c.sc.Event("netlink", "downcall_aborted", c.eng.Now())
+			return
+		}
 		if done != nil {
 			done()
 		}
