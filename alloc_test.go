@@ -70,3 +70,45 @@ func TestQueryModelBatchZeroAllocs(t *testing.T) {
 		t.Errorf("steady-state QueryModelBatch allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// TestQuerySteadyStateZeroAllocsWithSampler extends the contract to an
+// observability-enabled core with a flight recorder attached: metric updates
+// on the query path are atomic adds, and the sampler runs on engine ticks,
+// never inside lf_query_model — so the steady state stays allocation-free
+// even while every series is being recorded.
+func TestQuerySteadyStateZeroAllocsWithSampler(t *testing.T) {
+	eng := liteflow.NewEngine()
+	cfg := liteflow.DefaultConfig()
+	cfg.FlowCacheTimeout = 0
+	reg := liteflow.NewMetricsRegistry()
+	lf := liteflow.NewCore(eng, nil, liteflow.DefaultCosts(), cfg,
+		liteflow.WithScope(liteflow.NewScope(reg, nil)))
+	net := liteflow.NewNetwork([]int{30, 32, 16, 1},
+		[]liteflow.Activation{liteflow.Tanh, liteflow.Tanh, liteflow.Tanh}, 1)
+	snap, err := liteflow.BuildSnapshot(net, liteflow.DefaultQuantConfig(), "aurora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.RegisterModel(snap); err != nil {
+		t.Fatal(err)
+	}
+	in, out := make([]int64, 30), make([]int64, 1)
+	if err := lf.QueryModel(1, in, out); err != nil { // warm cache + arena
+		t.Fatal(err)
+	}
+
+	fr := liteflow.NewFlightRecorder(0)
+	fr.Sample(reg, 1) // series rings exist before the measured window
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := lf.QueryModel(1, in, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	fr.Sample(reg, 2)
+	if allocs != 0 {
+		t.Errorf("steady-state QueryModel with sampler allocates %.1f allocs/op, want 0", allocs)
+	}
+	if fr.Ticks() != 2 || fr.Len() == 0 {
+		t.Fatalf("flight recorder did not record: ticks=%d series=%d", fr.Ticks(), fr.Len())
+	}
+}

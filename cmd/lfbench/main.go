@@ -35,6 +35,7 @@ import (
 	"os"
 
 	"github.com/liteflow-sim/liteflow/internal/experiments"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
 	"github.com/liteflow-sim/liteflow/internal/obs"
 )
 
@@ -55,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reps        = fs.Int("reps", 1, "repetitions per experiment; results aggregate to the per-point median")
 		trace       = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		metricsOut  = fs.String("metrics-out", "", "write Prometheus text metrics to this file")
+		flightOut   = fs.String("flight-out", "", "write the flight recording as JSON lines to this file (recorded by experiments that drive a flight recorder, e.g. the fleet scenarios)")
+		flightEvery = fs.Duration("flight-interval", 0, "virtual-time flight-recorder sampling interval (0 = per-experiment default)")
 		cacheShards = fs.Int("cache-shards", 0, "flow-cache shard count for cache-bound experiments (0 = core default; rounded up to a power of two)")
 
 		benchOut       = fs.String("bench-out", "", "measure ns/op + allocs/op and write a JSON snapshot to this file")
@@ -76,11 +79,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, CacheShards: *cacheShards}
-	if *trace != "" || *metricsOut != "" {
+	var flight *obs.FlightRecorder
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, CacheShards: *cacheShards,
+		FlightEvery: netsim.Time(flightEvery.Nanoseconds())}
+	if *trace != "" || *metricsOut != "" || *flightOut != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer(0)
 		cfg.Obs = obs.New(reg, tracer)
+	}
+	if *flightOut != "" {
+		flight = obs.NewFlightRecorder(0)
+		cfg.Flight = flight
 	}
 	opts := experiments.SuiteOptions{Parallel: *parallel, Reps: *reps}
 
@@ -117,15 +126,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if err := writeExports(*trace, *metricsOut, reg, tracer); err != nil {
+	if err := writeExports(*trace, *metricsOut, *flightOut, reg, tracer, flight); err != nil {
 		fmt.Fprintln(stderr, "lfbench:", err)
 		return 1
+	}
+	if tracer != nil && tracer.Evicted() > 0 {
+		fmt.Fprintf(stderr, "lfbench: trace ring overflowed, %d oldest events evicted (raise the ring capacity to keep them)\n", tracer.Evicted())
 	}
 	return 0
 }
 
 // writeExports flushes telemetry to the requested files, if any.
-func writeExports(trace, metricsOut string, reg *obs.Registry, tracer *obs.Tracer) error {
+func writeExports(trace, metricsOut, flightOut string, reg *obs.Registry, tracer *obs.Tracer, flight *obs.FlightRecorder) error {
 	writeTo := func(path string, write func(io.Writer) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -144,6 +156,11 @@ func writeExports(trace, metricsOut string, reg *obs.Registry, tracer *obs.Trace
 	}
 	if metricsOut != "" {
 		if err := writeTo(metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	if flightOut != "" {
+		if err := writeTo(flightOut, flight.WriteJSONL); err != nil {
 			return err
 		}
 	}

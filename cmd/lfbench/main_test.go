@@ -171,3 +171,50 @@ func TestLfbenchBenchSnapshotRoundTrip(t *testing.T) {
 		t.Errorf("missing shape-mismatch diagnostic:\n%s", stderr.String())
 	}
 }
+
+// TestLfbenchFlightParallelMatchesSerial: the flight recording (and the span
+// trace it rides with) must be byte-identical regardless of -parallel — the
+// §4d obligation extended to -flight-out.
+func TestLfbenchFlightParallelMatchesSerial(t *testing.T) {
+	runOnce := func(parallel int) (report string, flight, trace []byte) {
+		dir := t.TempDir()
+		flightPath := filepath.Join(dir, "flight.jsonl")
+		tracePath := filepath.Join(dir, "trace.json")
+		var stdout, stderr bytes.Buffer
+		args := []string{"-exp", "fleet-canary", "-scale", "0.02", "-seed", "1",
+			"-reps", "2", "-parallel", strconv.Itoa(parallel),
+			"-flight-out", flightPath, "-trace", tracePath}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run -parallel %d exited %d\nstderr: %s", parallel, code, stderr.String())
+		}
+		fb, err := os.ReadFile(flightPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String(), fb, tb
+	}
+	serialRep, serialFlight, serialTrace := runOnce(1)
+	parRep, parFlight, parTrace := runOnce(4)
+	if len(serialFlight) == 0 {
+		t.Fatal("flight recording is empty")
+	}
+	if serialRep != parRep {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 4:\n--- serial\n%s\n--- parallel\n%s", serialRep, parRep)
+	}
+	if !bytes.Equal(serialFlight, parFlight) {
+		t.Errorf("flight export differs between -parallel 1 and -parallel 4 (%d vs %d bytes)", len(serialFlight), len(parFlight))
+	}
+	if !bytes.Equal(serialTrace, parTrace) {
+		t.Errorf("trace export differs between -parallel 1 and -parallel 4 (%d vs %d bytes)", len(serialTrace), len(parTrace))
+	}
+	if !strings.Contains(serialRep, "REGRESSION") {
+		t.Errorf("canary report did not flag the degraded snapshot:\n%s", serialRep)
+	}
+	if !strings.Contains(string(serialFlight), `"kind":"cumulative"`) {
+		t.Error("flight recording missing cumulative series")
+	}
+}

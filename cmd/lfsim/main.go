@@ -10,8 +10,10 @@
 //	lfsim -cc bbr -flows 10
 //
 // Telemetry: -trace writes a Chrome trace-event JSON (load it in Perfetto or
-// chrome://tracing), -metrics-out writes Prometheus text exposition, and
-// -listen serves both live on /metrics and /debug/trace after the run.
+// chrome://tracing; snapshot versions render as per-pid span trees),
+// -metrics-out writes Prometheus text exposition, -flight-out records every
+// metric on a virtual-time tick as JSON lines, and -listen serves them live
+// on /metrics, /debug/trace and /debug/flight after the run.
 //
 //	lfsim -cc lf-aurora -adapt -congested -trace trace.json -metrics-out metrics.prom
 //
@@ -75,6 +77,8 @@ type options struct {
 	trace       string
 	traceJSONL  string
 	metricsOut  string
+	flightOut   string
+	flightEvery time.Duration
 	listen      string
 	traceEvents int
 }
@@ -101,6 +105,8 @@ func main() {
 	flag.StringVar(&o.trace, "trace", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.traceJSONL, "trace-jsonl", "", "write trace events as JSON lines to this file")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write Prometheus text metrics to this file")
+	flag.StringVar(&o.flightOut, "flight-out", "", "write a flight recording (every metric sampled on a virtual-time tick) as JSON lines to this file")
+	flag.DurationVar(&o.flightEvery, "flight-interval", time.Millisecond, "virtual-time interval between flight-recorder samples (with -flight-out or -listen)")
 	flag.StringVar(&o.listen, "listen", "", "serve /metrics and /debug/trace on this address after the run (e.g. :9090)")
 	flag.IntVar(&o.traceEvents, "trace-events", obs.DefaultTraceCapacity, "trace ring capacity in events")
 	flag.Parse()
@@ -156,8 +162,8 @@ func run(o options, stdout, stderr io.Writer) error {
 		_, err := runOnce(o, 0, stdout, stderr)
 		return err
 	}
-	if o.trace != "" || o.traceJSONL != "" || o.metricsOut != "" || o.listen != "" {
-		return fmt.Errorf("-trace/-trace-jsonl/-metrics-out/-listen export a single run's telemetry; use -reps 1")
+	if o.trace != "" || o.traceJSONL != "" || o.metricsOut != "" || o.flightOut != "" || o.listen != "" {
+		return fmt.Errorf("-trace/-trace-jsonl/-metrics-out/-flight-out/-listen export a single run's telemetry; use -reps 1")
 	}
 
 	workers := o.parallel
@@ -219,7 +225,7 @@ func run(o options, stdout, stderr io.Writer) error {
 // runOnce executes one scenario instance. rep offsets the pretraining and
 // fault seeds; the returned goodput is the aggregate across flows in Gbps.
 func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
-	wantTelemetry := o.trace != "" || o.traceJSONL != "" || o.metricsOut != "" || o.listen != ""
+	wantTelemetry := o.trace != "" || o.traceJSONL != "" || o.metricsOut != "" || o.flightOut != "" || o.listen != ""
 	var reg *obs.Registry
 	var tracer *obs.Tracer
 	var sc obs.Scope
@@ -228,13 +234,17 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		tracer = obs.NewTracer(o.traceEvents)
 		sc = obs.New(reg, tracer)
 	}
+	var flight *obs.FlightRecorder
+	if o.flightOut != "" || o.listen != "" {
+		flight = obs.NewFlightRecorder(0)
+	}
 
 	prof, ok := fault.ByName(o.faultProfile)
 	if !ok {
 		return 0, fmt.Errorf("unknown fault profile %q (want none|netlink|slowpath|chaos)", o.faultProfile)
 	}
 	if o.fleet > 0 {
-		return runFleet(o, rep, prof.Active(), sc, reg, tracer, stdout, stderr)
+		return runFleet(o, rep, prof.Active(), sc, reg, tracer, flight, stdout, stderr)
 	}
 	var inj *fault.Injector
 	if prof.Active() {
@@ -366,6 +376,22 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		senders = append(senders, s)
 	}
 
+	runEnd := netsim.Time((o.warmup + o.duration).Nanoseconds())
+	if flight != nil && reg != nil {
+		every := netsim.Time(o.flightEvery.Nanoseconds())
+		if every <= 0 {
+			every = netsim.Time(time.Millisecond.Nanoseconds())
+		}
+		var flightTick func()
+		flightTick = func() {
+			flight.Sample(reg, int64(eng.Now()))
+			if eng.Now() < runEnd {
+				eng.After(every, flightTick)
+			}
+		}
+		eng.After(every, flightTick)
+	}
+
 	warmup := netsim.Time(o.warmup.Nanoseconds())
 	eng.RunUntil(warmup)
 	measuring = true
@@ -412,12 +438,13 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		}
 	}
 
-	if err := writeExports(o, reg, tracer); err != nil {
+	if err := writeExports(o, reg, tracer, flight); err != nil {
 		return 0, err
 	}
+	warnEvictions(tracer, stderr)
 	if o.listen != "" {
-		fmt.Fprintf(stderr, "serving telemetry on %s (/metrics, /debug/trace) — ctrl-c to stop\n", o.listen)
-		return agg, http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer))
+		fmt.Fprintf(stderr, "serving telemetry on %s (/metrics, /debug/trace, /debug/flight) — ctrl-c to stop\n", o.listen)
+		return agg, http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer, flight))
 	}
 	return agg, nil
 }
@@ -428,7 +455,7 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 // odd members go dark on a jittered schedule, installs park on the degraded
 // cores, and the recovery tail must restore epoch parity. The returned
 // aggregate is the fleet-wide model-query rate in queries/s.
-func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, tracer *obs.Tracer, stdout, stderr io.Writer) (float64, error) {
+func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, tracer *obs.Tracer, flight *obs.FlightRecorder, stdout, stderr io.Writer) (float64, error) {
 	r := experiments.RunFleetScenario(experiments.FleetScenarioOpts{
 		Members:     o.fleet,
 		Seed:        o.seed + int64(rep),
@@ -436,6 +463,8 @@ func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, t
 		Chaos:       chaos,
 		Obs:         sc,
 		CacheShards: o.cacheShards,
+		Flight:      flight,
+		FlightEvery: netsim.Time(o.flightEvery.Nanoseconds()),
 	})
 	st := r.Stats
 	fmt.Fprintf(stdout, "fleet: %d members, epoch %d, %d member installs (%d parked, %d abandoned, %d deferred)\n",
@@ -445,18 +474,28 @@ func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, t
 	fmt.Fprintf(stdout, "fleet staleness: mean %.3f, peak %d, final %d; member epochs %v\n",
 		r.MeanStale, r.PeakStale, st.StaleMembers, r.Epochs)
 	fmt.Fprintf(stdout, "aggregate: %.0f queries/s across %d members\n", r.GoodputQPS, r.Members)
-	if err := writeExports(o, reg, tracer); err != nil {
+	if err := writeExports(o, reg, tracer, flight); err != nil {
 		return 0, err
 	}
+	warnEvictions(tracer, stderr)
 	if o.listen != "" {
-		fmt.Fprintf(stderr, "serving telemetry on %s (/metrics, /debug/trace) — ctrl-c to stop\n", o.listen)
-		return r.GoodputQPS, http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer))
+		fmt.Fprintf(stderr, "serving telemetry on %s (/metrics, /debug/trace, /debug/flight) — ctrl-c to stop\n", o.listen)
+		return r.GoodputQPS, http.ListenAndServe(o.listen, obs.NewHTTPHandler(reg, tracer, flight))
 	}
 	return r.GoodputQPS, nil
 }
 
+// warnEvictions tells the user when the trace ring wrapped: the exported
+// trace is missing its oldest events (a synthetic trace_ring_overflow event
+// marks the spot in the export itself).
+func warnEvictions(tracer *obs.Tracer, stderr io.Writer) {
+	if tracer != nil && tracer.Evicted() > 0 {
+		fmt.Fprintf(stderr, "lfsim: trace ring overflowed, %d oldest events evicted (raise -trace-events to keep them)\n", tracer.Evicted())
+	}
+}
+
 // writeExports flushes the run's telemetry to the requested files.
-func writeExports(o options, reg *obs.Registry, tracer *obs.Tracer) error {
+func writeExports(o options, reg *obs.Registry, tracer *obs.Tracer, flight *obs.FlightRecorder) error {
 	writeTo := func(path string, write func(io.Writer) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -480,6 +519,11 @@ func writeExports(o options, reg *obs.Registry, tracer *obs.Tracer) error {
 	}
 	if o.metricsOut != "" {
 		if err := writeTo(o.metricsOut, reg.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	if o.flightOut != "" {
+		if err := writeTo(o.flightOut, flight.WriteJSONL); err != nil {
 			return err
 		}
 	}

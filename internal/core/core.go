@@ -205,11 +205,12 @@ type Core struct {
 	// Slow-path watchdog state (see NewCore's opt.WithWatchdog): when armed
 	// and the service stays silent past wd.Window, the core degrades to the
 	// last-good snapshot rather than waiting on a stalled slow path forever.
-	wd        opt.Watchdog
-	wdEnabled bool
-	wdRunning bool
-	lastAlive netsim.Time
-	degraded  bool
+	wd           opt.Watchdog
+	wdEnabled    bool
+	wdRunning    bool
+	lastAlive    netsim.Time
+	degraded     bool
+	degradeStart netsim.Time
 }
 
 // NewCore returns a core module bound to eng. cpu may be nil to disable CPU
@@ -654,6 +655,7 @@ func (c *Core) scheduleWatchdog() {
 				c.standby = nil
 				c.unloadDead()
 			}
+			c.degradeStart = now
 			c.sc.Event1("core", "degrade", now, "silence_ns", int64(now-c.lastAlive))
 		}
 		c.scheduleWatchdog()
@@ -672,7 +674,11 @@ func (c *Core) NoteSlowPathAlive() {
 	if c.degraded {
 		c.degraded = false
 		c.met.recovered.Inc()
-		c.sc.Event("core", "recover", c.Eng.Now())
+		now := c.Eng.Now()
+		c.sc.Event("core", "recover", now)
+		// The whole degraded window as one span: how long the core served
+		// pinned to its last-good snapshot before the slow path came back.
+		c.sc.Span("core", "degraded_window", c.degradeStart, int64(now-c.degradeStart))
 	}
 }
 

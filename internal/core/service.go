@@ -183,6 +183,15 @@ type Service struct {
 	installing    bool
 	parked        *Model // standby registered while degraded, awaiting recovery
 
+	// life is the open lifecycle span for the snapshot version currently
+	// being pooled toward: opened on the first batch after the previous
+	// lifecycle closed, versioned at build time, ended at activation (or
+	// failure). lifeStaged records that the pool/correctness/necessity
+	// children were already emitted for this root.
+	spans      *obs.SpanTracer
+	life       *obs.Span
+	lifeStaged bool
+
 	inj   *fault.Injector
 	retry opt.Retry
 
@@ -211,6 +220,7 @@ func NewSlowPath(c *Core, ch *netlink.Channel, f Freezer, e Evaluator, a Adapter
 		s.retry = *o.Retry
 	}
 	s.met = newServiceMetrics(s.sc)
+	s.spans = obs.NewSpanTracer(s.sc)
 	ch.SetDeliver(s.HandleBatch)
 	c.slowPathAttached()
 	return s
@@ -296,6 +306,9 @@ func (s *Service) HandleBatch(batch []netlink.Message) {
 	}
 	s.met.batches.Inc()
 	s.met.samples.Add(int64(len(samples)))
+	if s.life == nil {
+		s.life = s.spans.Root("snapshot", "snapshot_lifecycle", now)
+	}
 
 	s.Adapter.Adapt(samples)
 	s.met.lastStability.Set(s.Evaluator.Stability())
@@ -320,10 +333,16 @@ func (s *Service) activateParked() {
 	if err := s.Core.Activate(); err != nil {
 		// The standby was displaced while parked (a newer install already
 		// took its place); nothing left to recover.
+		s.life.EndFailed(s.Core.Eng.Now(), "displaced")
+		s.closeLife()
 		return
 	}
 	s.met.updates.Inc()
-	s.sc.EventStr("snapshot", "parked_activate", s.Core.Eng.Now(), "model", m.Name)
+	now := s.Core.Eng.Now()
+	s.sc.EventStr("snapshot", "parked_activate", now, "model", m.Name)
+	s.life.Child("parked_activate", now, 0)
+	s.life.End(now)
+	s.closeLife()
 	if s.OnUpdate != nil {
 		s.OnUpdate(m)
 	}
@@ -372,6 +391,7 @@ func (s *Service) evaluateNecessity(samples []Sample) {
 	// double-ship parameters. Every terminal path below clears the flag.
 	s.installing = true
 	s.met.fidelityChecks.Inc()
+	necStart := s.Core.Eng.Now()
 
 	payload := 0
 	for _, sm := range samples {
@@ -433,6 +453,17 @@ func (s *Service) evaluateNecessity(samples []Sample) {
 				s.installing = false
 				return
 			}
+			// The gate passed: stage the lifecycle children. Pooling and the
+			// correctness gate are emitted once per root (a lifecycle can run
+			// several necessity rounds if earlier installs failed); the
+			// necessity span covers this round's fidelity RTT.
+			decided := s.Core.Eng.Now()
+			if s.life != nil && !s.lifeStaged {
+				s.lifeStaged = true
+				s.life.Child("pool", s.life.Start(), necStart-s.life.Start())
+				s.life.Child("correctness_gate", necStart, 0)
+			}
+			s.life.Child("necessity_gate", necStart, decided-necStart)
 			s.installSnapshot()
 		})
 	})
@@ -487,9 +518,12 @@ func (s *Service) tryInstall(attempt int) {
 		// in the build-failure/retry counters and the trace.
 		s.met.buildFailures.Inc()
 		s.sc.EventMix("snapshot", "build_failure", now, "attempt", int64(attempt+1), "model", name)
+		s.life.Mark("build_failure", now, "attempt", int64(attempt+1))
 		if attempt+1 >= s.retry.Max {
 			s.met.abandoned.Inc()
 			s.sc.Event1("snapshot", "install_abandoned", now, "attempts", int64(attempt+1))
+			s.life.EndFailed(now, "abandoned")
+			s.closeLife()
 			s.installing = false
 			return
 		}
@@ -499,7 +533,11 @@ func (s *Service) tryInstall(attempt int) {
 		s.Core.Eng.After(wait, func() { s.tryInstall(attempt + 1) })
 		return
 	}
+	s.life.SetVersion(int64(s.snapCount))
+	s.life.Child("quantize", now, 0)
+	s.life.Child("build", now, 0)
 	paramBytes := prog.NumParams() * 8
+	installStart := now
 	sendErr := s.Chan.SendToKernel(paramBytes, func() {
 		// Kernel-side module install (insmod): charged per parameter, but
 		// the active snapshot keeps serving inference throughout.
@@ -513,6 +551,8 @@ func (s *Service) tryInstall(attempt int) {
 			// into success; count the loss instead of dropping it silently.
 			s.met.abandoned.Inc()
 			s.sc.EventStr("snapshot", "install_rejected", s.Core.Eng.Now(), "model", name)
+			s.life.EndFailed(s.Core.Eng.Now(), "rejected")
+			s.closeLife()
 			s.installing = false
 			return
 		}
@@ -520,18 +560,27 @@ func (s *Service) tryInstall(attempt int) {
 			if errors.Is(err, ErrDegraded) {
 				// The module is already registered: the degraded core parks
 				// it as standby, and activateParked switches to it on the
-				// first post-recovery batch instead of rebuilding.
+				// first post-recovery batch instead of rebuilding. The
+				// lifecycle stays open until that catch-up activation.
 				s.parked = m
 				s.met.parked.Inc()
 				s.sc.EventStr("snapshot", "install_parked", s.Core.Eng.Now(), "model", name)
+				s.life.Mark("install_parked", s.Core.Eng.Now(), "version", int64(s.snapCount))
 			} else {
 				s.met.abandoned.Inc()
 				s.sc.EventStr("snapshot", "install_rejected", s.Core.Eng.Now(), "model", name)
+				s.life.EndFailed(s.Core.Eng.Now(), "rejected")
+				s.closeLife()
 			}
 			s.installing = false
 			return
 		}
 		s.met.updates.Inc()
+		done := s.Core.Eng.Now()
+		s.life.Child("install", installStart, done-installStart)
+		s.life.Child("activate", done, 0)
+		s.life.End(done)
+		s.closeLife()
 		s.installing = false
 		if s.OnUpdate != nil {
 			s.OnUpdate(m)
@@ -541,6 +590,15 @@ func (s *Service) tryInstall(attempt int) {
 		// The channel is gone; no kernel to install into.
 		s.met.abandoned.Inc()
 		s.sc.Event1("snapshot", "install_abandoned", now, "attempts", int64(attempt+1))
+		s.life.EndFailed(now, "abandoned")
+		s.closeLife()
 		s.installing = false
 	}
+}
+
+// closeLife resets the lifecycle span slot after the open root ended; the
+// next processed batch opens the next version's root.
+func (s *Service) closeLife() {
+	s.life = nil
+	s.lifeStaged = false
 }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/obs"
+)
+
+// TestFleetCanaryFlagsRegression: installing the deliberately bloated
+// snapshot must show up in the flight-recorder delta as a goodput collapse
+// and a query-latency p99 jump between the pre- and post-install windows.
+func TestFleetCanaryFlagsRegression(t *testing.T) {
+	fr := obs.NewFlightRecorder(0)
+	cfg := Config{Scale: 0.05, Seed: 1, Flight: fr}
+	res := FigFleetCanary(cfg)
+
+	good := res.Get("goodput-qps")
+	p99 := res.Get("query-p99-ns")
+	if good == nil || p99 == nil {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	qb, qa := good.Y[0], good.Y[1]
+	pb, pa := p99.Y[0], p99.Y[1]
+	if qb <= 0 || pb <= 0 {
+		t.Fatalf("empty pre-install window: goodput=%g p99=%g\n%s", qb, pb, res)
+	}
+	if qa >= 0.9*qb {
+		t.Errorf("goodput did not regress: before %g, after %g", qb, qa)
+	}
+	if pa <= 1.5*pb {
+		t.Errorf("query p99 did not regress: before %g, after %g", pb, pa)
+	}
+	var flagged bool
+	for _, n := range res.Notes {
+		if strings.Contains(n, "REGRESSION") {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Errorf("canary verdict missing from notes: %v", res.Notes)
+	}
+	if fr.Ticks() == 0 {
+		t.Error("caller-supplied flight recorder absorbed no samples")
+	}
+}

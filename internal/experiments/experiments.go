@@ -28,6 +28,14 @@ type Config struct {
 	// that exercise the cache (0 = the core default). Set by lfbench
 	// -cache-shards.
 	CacheShards int
+	// Flight, when non-nil, receives virtual-time registry samples from
+	// experiments that drive a flight recorder (the fleet scenarios). RunSuite
+	// gives each job a private recorder and folds them into Flight in job
+	// order, so recordings are byte-identical serial vs parallel.
+	Flight *obs.FlightRecorder
+	// FlightEvery is the flight-recorder sampling tick (0 = per-experiment
+	// default).
+	FlightEvery netsim.Time
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -166,6 +174,7 @@ func All() []Runner {
 		{"resilience", "Goodput under injected faults (graceful degradation)", FigResilience},
 		{"flow-churn", "Flow-cache churn at scale: sharded cache + incremental sweep", FigFlowChurn},
 		{"fleet-scale", "Fleet snapshot distribution: goodput + staleness vs member count", FigFleetScale},
+		{"fleet-canary", "Canary gate: flight-recorder delta flags a degraded snapshot install", FigFleetCanary},
 	}
 }
 

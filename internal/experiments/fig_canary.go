@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/liteflow-sim/liteflow/internal/core"
+	"github.com/liteflow-sim/liteflow/internal/fleet"
+	"github.com/liteflow-sim/liteflow/internal/ksim"
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/nn"
+	"github.com/liteflow-sim/liteflow/internal/obs"
+	"github.com/liteflow-sim/liteflow/internal/opt"
+	"github.com/liteflow-sim/liteflow/internal/topo"
+)
+
+// canaryUser is the canary experiment's slow-path model. It drifts like
+// fleetDriftUser to keep epochs minting, and at a scheduled virtual time it is
+// swapped to a deliberately bloated network (same input/output dims, huge
+// hidden layer) — a "bad push" whose next minted epoch carries ~250× the
+// MACs, so every member that installs it pays a visibly larger kernel
+// inference cost.
+type canaryUser struct {
+	net        *nn.Network
+	driftEvery int
+	rounds     int
+	sign       float64
+}
+
+func (u *canaryUser) Freeze() *nn.Network          { return u.net }
+func (u *canaryUser) Stability() float64           { return 0.5 }
+func (u *canaryUser) Infer(in []float64) []float64 { return u.net.Infer(in) }
+func (u *canaryUser) Adapt([]core.Sample) {
+	u.rounds++
+	if u.driftEvery > 0 && u.rounds%u.driftEvery == 0 {
+		out := u.net.Layers[len(u.net.Layers)-1]
+		out.B[0] += u.sign * 0.5
+		u.sign = -u.sign
+	}
+}
+
+// bloat returns a functionally offset copy of base with its hidden layer
+// padded to the given width: the original hidden units (weights and biases)
+// are embedded verbatim, the padding units get random input weights but zero
+// output weights, and the output bias shifts by off — so bloated(x) ==
+// base(x) + off exactly. The constant offset keeps the fleet necessity gate's
+// min-loss strictly above threshold (a fresh random net would cross the old
+// function somewhere and let the minimum collapse to ~0), while the padding
+// inflates the MAC count ~250× — the degradation the canary must catch.
+func bloat(base *nn.Network, hidden int, off float64, seed int64) *nn.Network {
+	n := nn.New([]int{base.InputSize(), hidden, base.OutputSize()},
+		[]nn.Activation{nn.Tanh, nn.Linear}, seed)
+	l1, l2 := base.Layers[0], base.Layers[1]
+	b1, b2 := n.Layers[0], n.Layers[1]
+	for i := 0; i < l1.Out; i++ {
+		copy(b1.W[i], l1.W[i])
+		b1.B[i] = l1.B[i]
+	}
+	for o := 0; o < l2.Out; o++ {
+		for j := range b2.W[o] {
+			if j < l1.Out {
+				b2.W[o][j] = l2.W[o][j]
+			} else {
+				b2.W[o][j] = 0
+			}
+		}
+		b2.B[o] = l2.B[o] + off
+	}
+	return n
+}
+
+// FigFleetCanary (experiment #22, beyond the paper) closes the loop between
+// the snapshot distribution plane and the flight recorder: it is the
+// canary-gate scenario DESIGN.md §4g describes. A 4-member fleet runs a
+// drifting model under a closed-loop query stream — each member issues its
+// next query only after the previous one's modeled kernel inference cost has
+// elapsed, so per-member goodput is inversely tied to the active snapshot's
+// MAC count. Halfway through, the slow-path model is swapped for a bloated
+// 4→2048→1 network (a deliberately degraded push: ~10240 MACs ≈ 20µs per
+// inference versus the healthy model's 1µs floor). The fleet dutifully builds
+// and fans it out; the flight recorder, sampling every registry series on a
+// virtual-time tick, must flag the regression purely from windowed deltas:
+// the fleet-wide query rate collapses and the modeled query-latency p99
+// jumps between the pre-install and post-install windows.
+func FigFleetCanary(cfg Config) Result {
+	const (
+		members    = 4
+		aggDivisor = 40
+		driftEvery = 6
+	)
+	res := Result{ID: "fleet-canary", Title: "Canary gate: flight-recorder delta across a degraded snapshot install",
+		XLabel: "window (0=pre-install, 1=post-install)", YLabel: "queries/s | p99 ns"}
+
+	dur := cfg.dur(2 * netsim.Second)
+	end := 2 * dur
+	agg := dur / aggDivisor
+	if agg < 200*netsim.Microsecond {
+		agg = 200 * netsim.Microsecond
+	}
+
+	// The flight recorder needs a live registry to sample. Use the caller's
+	// when observability is on; otherwise run a private one — the simulation
+	// is identical either way, obs is passive.
+	sc := cfg.Obs
+	reg := sc.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+		sc = obs.New(reg, nil)
+	}
+	fr := cfg.Flight
+	if fr == nil {
+		fr = obs.NewFlightRecorder(0)
+	}
+	flightEvery := cfg.FlightEvery
+	if flightEvery <= 0 {
+		flightEvery = agg / 2
+	}
+
+	eng := netsim.NewEngine()
+	fabric := topo.BuildSpineLeaf(eng, topo.DefaultSpineLeafOpts(members/2), opt.WithScope(sc))
+	costs := ksim.DefaultCosts()
+	fabric.ProvisionCPUs(4, costs, opt.WithScope(sc))
+
+	user := &canaryUser{
+		net:        nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, cfg.Seed),
+		driftEvery: driftEvery,
+		sign:       1,
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.FlowCacheShards = cfg.CacheShards
+	spec := topo.FleetSpec{
+		Costs: costs,
+		Core:  ccfg,
+		Fleet: fleet.Config{
+			BatchInterval:         agg,
+			AggregationInterval:   agg,
+			MaxConcurrentInstalls: 2,
+		},
+	}
+	ctrl := fabric.ProvisionFleet(spec, user, user, user, opt.WithScope(sc))
+	if err := ctrl.Start(); err != nil {
+		panic("experiments: fleet canary: " + err.Error())
+	}
+
+	// The bad push: swap the slow-path model for the bloated network and stop
+	// drifting, so exactly one degraded epoch is minted and the post-install
+	// window is steady-state on it. Hidden-layer growth is legal for
+	// RegisterModel (input/output dims are pinned).
+	eng.At(dur, func() {
+		user.net = bloat(user.net, 2048, 1.0, cfg.Seed+7)
+		user.driftEvery = 0
+	})
+
+	// Closed-loop per-member query stream: each member issues its next query
+	// only after the active snapshot's modeled inference cost has elapsed, so
+	// a bloated snapshot directly depresses that member's query rate. Flows
+	// are short-lived (flowLen queries, then FIN + a fresh flow) — snapshots
+	// pin per flow at first use (§3.4 flow consistency), so churn is what
+	// lets new flows pick up a freshly activated version.
+	const flowLen = 16
+	queryEvery := 5 * netsim.Microsecond
+	for i, m := range ctrl.Members() {
+		i, m := i, m
+		rng := rand.New(rand.NewSource(cfg.Seed + 31*int64(i)))
+		in := make([]int64, 4)
+		out := make([]int64, 1)
+		flow := netsim.FlowID(i*1_000_000 + 1)
+		sent := 0
+		var tick func()
+		tick = func() {
+			sample := core.Sample{Input: make([]float64, 4), At: eng.Now()}
+			for k := range in {
+				sample.Input[k] = rng.Float64()*2 - 1
+				in[k] = int64(sample.Input[k] * 100)
+			}
+			m.Core.QueryModel(flow, in, out)
+			m.Chan.Push(core.EncodeSample(sample))
+			if sent++; sent%flowLen == 0 {
+				m.Core.FlowFinished(flow)
+				flow++
+			}
+			next := queryEvery
+			if act := m.Core.Active(); act != nil {
+				next += ksim.InferCost(costs.KernelInferPerMAC, act.Program().MACs())
+			}
+			if eng.Now() < end {
+				eng.After(next, tick)
+			}
+		}
+		eng.After(queryEvery, tick)
+	}
+
+	// Flight-recorder tick: snapshot every series in the registry.
+	var flightTick func()
+	flightTick = func() {
+		fr.Sample(reg, int64(eng.Now()))
+		if eng.Now() < end {
+			eng.After(flightEvery, flightTick)
+		}
+	}
+	eng.After(flightEvery, flightTick)
+
+	eng.RunUntil(end)
+	ctrl.Stop()
+	for _, m := range ctrl.Members() {
+		m.Core.StopSweeper()
+	}
+
+	// The canary gate: compare the steady window before the bad push against
+	// the steady window after the rollout settles. [dur, 3dur/2] is left out
+	// as the transition (build, fan-out, member installs).
+	before := obs.TimeWindow{From: int64(dur / 2), To: int64(dur)}
+	after := obs.TimeWindow{From: int64(3 * dur / 2), To: int64(end)}
+	deltas := fr.Delta(before, after)
+
+	var qBefore, qAfter float64 // summed member query rates
+	var pBefore, pAfter float64 // mean member p99 levels
+	var pN int
+	for _, d := range deltas {
+		switch {
+		case strings.HasPrefix(d.Name, "liteflow_core_queries_total") && d.Cumulative:
+			qBefore += d.Before
+			qAfter += d.After
+		case strings.HasPrefix(d.Name, "liteflow_query_ns") && strings.HasSuffix(d.Name, "_p99"):
+			pBefore += d.Before
+			pAfter += d.After
+			pN++
+		}
+	}
+	if pN > 0 {
+		pBefore /= float64(pN)
+		pAfter /= float64(pN)
+	}
+
+	res.Series = append(res.Series,
+		Series{Name: "goodput-qps", X: []float64{0, 1}, Y: []float64{qBefore, qAfter}},
+		Series{Name: "query-p99-ns", X: []float64{0, 1}, Y: []float64{pBefore, pAfter}},
+	)
+	st := ctrl.Stats()
+	goodputRatio := 0.0
+	if qBefore > 0 {
+		goodputRatio = qAfter / qBefore
+	}
+	latRatio := 0.0
+	if pBefore > 0 {
+		latRatio = pAfter / pBefore
+	}
+	verdict := "no regression"
+	if goodputRatio < 0.9 || latRatio > 1.5 {
+		verdict = "REGRESSION: degraded snapshot flagged"
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("flight delta windows: before [%d,%d] after [%d,%d] ns (virtual), %d samples recorded",
+			before.From, before.To, after.From, after.To, fr.Ticks()),
+		fmt.Sprintf("goodput ratio %.3f, p99 latency ratio %.2f — %s", goodputRatio, latRatio, verdict),
+		fmt.Sprintf("fleet: %d epochs, %d member installs (%d parked, %d abandoned)",
+			st.Epoch, st.MemberInstalls, st.InstallsParked, st.InstallsAbandoned),
+	)
+	return res
+}

@@ -50,6 +50,10 @@ type FleetScenarioOpts struct {
 	Chaos       bool        // odd members suffer injected slow-path outages
 	Obs         obs.Scope
 	CacheShards int
+	// Flight, when non-nil, is sampled from Obs's registry every FlightEvery
+	// of virtual time (default agg/2) for the whole run.
+	Flight      *obs.FlightRecorder
+	FlightEvery netsim.Time
 }
 
 // FleetScenarioResult reports one scenario run.
@@ -163,6 +167,23 @@ func RunFleetScenario(o FleetScenarioOpts) FleetScenarioResult {
 		eng.After(queryEvery, tick)
 	}
 
+	// Flight recorder: snapshot every registry series on a virtual-time tick.
+	if o.Flight != nil && o.Obs.Registry() != nil {
+		freg := o.Obs.Registry()
+		every := o.FlightEvery
+		if every <= 0 {
+			every = agg / 2
+		}
+		var flightTick func()
+		flightTick = func() {
+			o.Flight.Sample(freg, int64(eng.Now()))
+			if eng.Now() < end {
+				eng.After(every, flightTick)
+			}
+		}
+		eng.After(every, flightTick)
+	}
+
 	// Staleness integral: sample the lag gauge on a fixed cadence.
 	staleSum, staleSamples, peakStale := 0.0, 0, 0
 	var sampleStale func()
@@ -229,6 +250,7 @@ func FigFleetScale(cfg Config) Result {
 			r := RunFleetScenario(FleetScenarioOpts{
 				Members: members, Seed: cfg.Seed, Dur: dur, Chaos: chaos,
 				Obs: cfg.Obs, CacheShards: cfg.CacheShards,
+				Flight: cfg.Flight, FlightEvery: cfg.FlightEvery,
 			})
 			x := float64(r.Members)
 			if chaos {

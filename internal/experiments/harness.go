@@ -82,11 +82,13 @@ func RunSuite(runners []Runner, cfg Config, opts SuiteOptions) []SuiteResult {
 
 	baseReg := cfg.Obs.Registry()
 	baseTracer := cfg.Obs.Tracer()
+	baseFlight := cfg.Flight
 	type jobOut struct {
 		res    Result
 		wall   time.Duration
 		reg    *obs.Registry
 		tracer *obs.Tracer
+		flight *obs.FlightRecorder
 	}
 	outs := make([]jobOut, nJobs)
 
@@ -101,6 +103,7 @@ func RunSuite(runners []Runner, cfg Config, opts SuiteOptions) []SuiteResult {
 				c := cfg
 				c.Seed = cfg.Seed + int64(r)
 				c.Obs = obs.Nop()
+				c.Flight = nil
 				if baseReg != nil || baseTracer != nil {
 					o := &outs[j]
 					if baseReg != nil {
@@ -110,6 +113,10 @@ func RunSuite(runners []Runner, cfg Config, opts SuiteOptions) []SuiteResult {
 						o.tracer = obs.NewTracer(baseTracer.Cap())
 					}
 					c.Obs = obs.New(o.reg, o.tracer)
+				}
+				if baseFlight != nil {
+					outs[j].flight = obs.NewFlightRecorder(baseFlight.Cap())
+					c.Flight = outs[j].flight
 				}
 				start := time.Now()
 				res := runners[e].Run(c)
@@ -132,6 +139,9 @@ func RunSuite(runners []Runner, cfg Config, opts SuiteOptions) []SuiteResult {
 		}
 		if baseTracer != nil {
 			baseTracer.Merge(outs[j].tracer)
+		}
+		if baseFlight != nil {
+			baseFlight.Merge(outs[j].flight)
 		}
 	}
 

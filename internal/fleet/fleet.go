@@ -186,6 +186,16 @@ type Controller struct {
 	inFlight      int
 	running       bool
 
+	// wave is the open rollout span: rooted at the first pooled aggregation
+	// after the previous wave drained, versioned when buildAndFanOut mints
+	// the epoch (waveEpoch), ended when the install queue drains. Member
+	// installs emit as standalone spans keyed by the same epoch pid, so the
+	// whole rollout renders as one tree across all member tracks.
+	spans     *obs.SpanTracer
+	wave      *obs.Span
+	waveEpoch int64
+	fanStart  netsim.Time
+
 	sc  obs.Scope
 	met fleetMetrics
 }
@@ -201,6 +211,7 @@ func New(eng *netsim.Engine, coreCfg core.Config, f core.Freezer, e core.Evaluat
 		freezer: f, evaluator: e, adapter: a, sc: o.Scope,
 	}
 	c.met = newFleetMetrics(c.sc)
+	c.spans = obs.NewSpanTracer(c.sc)
 	return c
 }
 
@@ -213,7 +224,7 @@ func New(eng *netsim.Engine, coreCfg core.Config, f core.Freezer, e core.Evaluat
 func (c *Controller) AddMember(co *core.Core, ch *netlink.Channel, options ...opt.Option) *Member {
 	o := opt.Resolve(options)
 	m := &Member{Index: len(c.members), Core: co, Chan: ch, inj: o.Faults}
-	msc := c.sc.With(obs.Label{Key: "member", Value: strconv.Itoa(m.Index)})
+	msc := c.sc.With(obs.Label{Key: "member", Value: strconv.Itoa(m.Index)}).WithTid(int64(m.Index) + 1)
 	m.epochGauge = msc.Gauge("liteflow_fleet_member_epoch", "fleet epoch this member last activated")
 	ch.SetDeliver(func(batch []netlink.Message) { c.handleMemberBatch(m, batch) })
 	co.AttachSlowPath()
@@ -356,6 +367,7 @@ func (c *Controller) catchUp(m *Member) {
 				m.epochGauge.Set(float64(target))
 				c.met.installs.Inc()
 				c.sc.Event2("fleet", "parked_activate", c.eng.Now(), "member", int64(m.Index), "epoch", target)
+				c.spans.Lone("snapshot", "parked_activate", target, int64(m.Index), c.eng.Now(), 0)
 				c.updateStale()
 				return
 			}
@@ -401,6 +413,9 @@ func (c *Controller) aggregate() {
 	}
 	c.met.aggregations.Inc()
 	c.met.samples.Add(int64(len(pool)))
+	if c.wave == nil {
+		c.wave = c.spans.Root("snapshot", "fleet_rollout", c.eng.Now())
+	}
 
 	c.adapter.Adapt(pool)
 	c.met.lastStability.Set(c.evaluator.Stability())
@@ -494,6 +509,7 @@ func (c *Controller) evaluateNecessity(pool []core.Sample) {
 func (c *Controller) buildAndFanOut() {
 	if c.inFlight > 0 || len(c.queue) > 0 {
 		c.met.deferred.Inc()
+		c.wave.Mark("install_deferred", c.eng.Now(), "queued", int64(len(c.queue)))
 		return
 	}
 	now := c.eng.Now()
@@ -505,12 +521,26 @@ func (c *Controller) buildAndFanOut() {
 		// The next converged round retries with a fresh freeze.
 		c.met.buildFailures.Inc()
 		c.sc.EventStr("fleet", "build_failure", now, "model", name)
+		c.wave.Mark("build_failure", now, "epoch", next)
 		return
 	}
 	c.epoch = next
 	c.curMod, c.curProg = mod, prog
 	c.met.versions.Inc()
 	c.sc.Event2("fleet", "version", now, "epoch", next, "members", int64(len(c.members)))
+	if c.wave != nil {
+		// The epoch exists now: stage the rollout's controller-side children.
+		// Pooling covers root-open to this build; the gates and build are
+		// synchronous in virtual time, so they render as instants.
+		c.wave.SetVersion(next)
+		c.waveEpoch = next
+		c.wave.Child("pool", c.wave.Start(), now-c.wave.Start())
+		c.wave.Child("correctness_gate", now, 0)
+		c.wave.Child("necessity_gate", now, 0)
+		c.wave.Child("quantize", now, 0)
+		c.wave.Child("build", now, 0)
+		c.fanStart = now
+	}
 	for _, m := range c.members {
 		c.enqueue(installJob{m: m, mod: mod, prog: prog, epoch: next})
 	}
@@ -540,11 +570,13 @@ func (c *Controller) install(j installJob) {
 	m := j.m
 	m.installing = true
 	c.inFlight++
+	start := c.eng.Now()
 	finish := func() {
 		m.installing = false
 		c.inFlight--
 		c.updateStale()
 		c.pump()
+		c.maybeCloseWave()
 	}
 	sendErr := m.Chan.SendToKernel(j.prog.NumParams()*8, func() {
 		now := c.eng.Now()
@@ -565,6 +597,9 @@ func (c *Controller) install(j installJob) {
 				m.parkedEpoch = j.epoch
 				c.met.parked.Inc()
 				c.sc.Event2("fleet", "install_parked", now, "member", int64(m.Index), "epoch", j.epoch)
+				if c.wave != nil && c.waveEpoch == j.epoch {
+					c.wave.MarkMember("install_parked", int64(m.Index), now)
+				}
 			} else {
 				c.met.abandoned.Inc()
 				c.sc.Event2("fleet", "install_rejected", now, "member", int64(m.Index), "epoch", j.epoch)
@@ -576,6 +611,10 @@ func (c *Controller) install(j installJob) {
 		m.epochGauge.Set(float64(j.epoch))
 		c.met.installs.Inc()
 		c.sc.Event2("fleet", "install", now, "member", int64(m.Index), "epoch", j.epoch)
+		// Standalone span keyed by the epoch pid: catch-up installs of an
+		// already-drained wave still join that version's tree.
+		c.spans.Lone("snapshot", "member_install", j.epoch, int64(m.Index), start, now-start)
+		c.spans.Lone("snapshot", "member_activate", j.epoch, int64(m.Index), now, 0)
 		finish()
 	})
 	if sendErr != nil {
@@ -583,6 +622,20 @@ func (c *Controller) install(j installJob) {
 		c.sc.Event2("fleet", "install_rejected", c.eng.Now(), "member", int64(m.Index), "epoch", j.epoch)
 		finish()
 	}
+}
+
+// maybeCloseWave ends the open rollout span once its fan-out has fully
+// drained: the wave covers pool start through the last member install
+// completing (parked members show as park marks and catch up later under the
+// same epoch pid).
+func (c *Controller) maybeCloseWave() {
+	if c.wave == nil || c.waveEpoch == 0 || c.inFlight > 0 || len(c.queue) > 0 {
+		return
+	}
+	now := c.eng.Now()
+	c.wave.Child("install_wave", c.fanStart, now-c.fanStart)
+	c.wave.End(now)
+	c.wave, c.waveEpoch = nil, 0
 }
 
 // updateStale refreshes the staleness gauge after any epoch movement.

@@ -258,6 +258,9 @@ func (c *Channel) Flush() {
 	if c.inj != nil {
 		delay += netsim.Time(c.inj.DeliveryDelay(now))
 	}
+	// The whole kernel→user flight as a span: flush to delivery, including
+	// queueing and injected delay.
+	c.sc.Span1("netlink", "flush_flight", now, int64(delay), "msgs", int64(len(batch)))
 	c.eng.After(delay, func() {
 		// Resolve the callback at delivery time so SetDeliver replacements
 		// apply to in-flight batches, and a missing callback degrades to a
@@ -319,6 +322,8 @@ func (c *Channel) SendToKernel(payloadBytes int, done func()) error {
 	c.cpu.Charge(ksim.SoftIRQ, c.costs.CrossSpace)
 	c.cpu.Charge(ksim.Kernel, c.costs.NetlinkPerMsg+netsim.Time(payloadBytes)*c.costs.NetlinkPerByte)
 	delay := c.costs.CrossSpaceLatency + c.cpu.QueueDelay()
+	// The user→kernel flight as a span: downcall to kernel-side completion.
+	c.sc.Span1("netlink", "downcall_flight", c.eng.Now(), int64(delay), "bytes", int64(payloadBytes))
 	c.eng.After(delay, func() {
 		if c.closed {
 			// Close raced the downcall mid-flight: the kernel side is gone,

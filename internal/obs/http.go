@@ -3,12 +3,18 @@ package obs
 import "net/http"
 
 // NewHTTPHandler returns an http.Handler exposing the registry at /metrics
-// (Prometheus text format) and the tracer at /debug/trace (Chrome trace JSON)
-// and /debug/trace.jsonl (JSON lines). Either argument may be nil; the
-// corresponding endpoints then report 404. The handler is safe to serve from
-// a goroutine while the simulation writes: the registry and tracer
-// synchronize internally.
-func NewHTTPHandler(reg *Registry, tr *Tracer) http.Handler {
+// (Prometheus text format), the tracer at /debug/trace (Chrome trace JSON by
+// default, JSON lines with ?format=jsonl) and /debug/trace.jsonl (JSON
+// lines), and — when a recorder is supplied — the flight recording at
+// /debug/flight (JSON lines). Nil arguments make the corresponding endpoints
+// report 404. The handler is safe to serve from a goroutine while the
+// simulation writes: the registry, tracer and recorder synchronize
+// internally.
+func NewHTTPHandler(reg *Registry, tr *Tracer, flight ...*FlightRecorder) http.Handler {
+	var fr *FlightRecorder
+	if len(flight) > 0 {
+		fr = flight[0]
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		if reg == nil {
@@ -18,9 +24,14 @@ func NewHTTPHandler(reg *Registry, tr *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		if tr == nil {
 			http.NotFound(w, nil)
+			return
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			tr.WriteJSONL(w)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -33,6 +44,14 @@ func NewHTTPHandler(reg *Registry, tr *Tracer) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		tr.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		if fr == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fr.WriteJSONL(w)
 	})
 	return mux
 }

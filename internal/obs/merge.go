@@ -108,7 +108,13 @@ func (h *Histogram) merge(src *Histogram) {
 
 // Merge folds src's events into t in src's emission order, as if each had
 // been emitted against t. Ring eviction applies as usual, so a bounded
-// destination keeps the most recent events of the concatenation.
+// destination keeps the most recent events of the concatenation. Evictions
+// src already performed carry over into t's count, so after folding every
+// per-job tracer the destination reports exactly the evictions a shared
+// serial tracer would have (total emitted minus capacity). The fold updates
+// only t's internal count, not a bound liteflow_trace_evicted_total counter:
+// the per-job registries carry the per-job counter values and Registry.Merge
+// sums those, so adding them here too would double-count.
 func (t *Tracer) Merge(src *Tracer) {
 	if t == nil || src == nil {
 		return
@@ -118,5 +124,10 @@ func (t *Tracer) Merge(src *Tracer) {
 	}
 	for _, e := range src.Events() {
 		t.Emit(e)
+	}
+	if n := src.Evicted(); n > 0 {
+		t.mu.Lock()
+		t.evicted += n
+		t.mu.Unlock()
 	}
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -112,6 +114,137 @@ func TestTracerMergePreservesOrder(t *testing.T) {
 	for i := range want {
 		if want[i].Name != got[i].Name {
 			t.Fatalf("event %d: got %q want %q", i, got[i].Name, want[i].Name)
+		}
+	}
+}
+
+// TestTracerMergeFoldsEvictions: after folding per-job tracers, the
+// destination must report exactly the evictions a shared serial tracer would
+// have — total emitted minus capacity — so liteflow_trace_evicted_total stays
+// byte-identical between serial and parallel runs.
+func TestTracerMergeFoldsEvictions(t *testing.T) {
+	const cap = 8
+	emit := func(tr *Tracer, base, n int) {
+		for i := 0; i < n; i++ {
+			tr.Emit(Event{At: int64(base + i), Name: "e"})
+		}
+	}
+	serial := NewTracer(cap)
+	emit(serial, 0, 12)
+	emit(serial, 100, 5)
+
+	a, b := NewTracer(cap), NewTracer(cap)
+	emit(a, 0, 12) // overflows privately: 4 evicted
+	emit(b, 100, 5)
+	dst := NewTracer(cap)
+	dst.Merge(a)
+	dst.Merge(b)
+
+	if dst.Evicted() != serial.Evicted() {
+		t.Fatalf("evicted: merged %d, serial %d", dst.Evicted(), serial.Evicted())
+	}
+	want, got := serial.Events(), dst.Events()
+	if len(want) != len(got) {
+		t.Fatalf("event count: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].At != got[i].At {
+			t.Fatalf("event %d: got At=%d want At=%d", i, got[i].At, want[i].At)
+		}
+	}
+}
+
+// combine returns a fresh registry holding a ⊕ b (merge both into an empty
+// one, in order) — the binary operation whose associativity the property
+// test below checks.
+func combine(a, b *Registry) *Registry {
+	out := NewRegistry()
+	out.Merge(a)
+	out.Merge(b)
+	return out
+}
+
+// randomPart populates r (and mirror, when non-nil) with a random workload:
+// counter adds and histogram observations on shared series, plus one gauge
+// owned exclusively by this part (one-writer-per-gauge is the harness
+// invariant that makes gauge merging order-insensitive). Values are integers,
+// which float64 represents exactly, so histogram sums are associative at the
+// bit level.
+func randomPart(rng *rand.Rand, r, mirror *Registry, part int) {
+	apply := func(f func(*Registry)) {
+		f(r)
+		if mirror != nil {
+			f(mirror)
+		}
+	}
+	nOps := 1 + rng.Intn(8)
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			v := int64(rng.Intn(1000))
+			lbl := Label{Key: "job", Value: string(rune('a' + rng.Intn(3)))}
+			apply(func(reg *Registry) { reg.Counter("ops_total", "", lbl).Add(v) })
+		case 1:
+			v := float64(rng.Intn(100000))
+			apply(func(reg *Registry) {
+				reg.Histogram("lat_ns", "", ExpBuckets(10, 10, 5)).Observe(v)
+			})
+		default:
+			v := float64(rng.Intn(1000))
+			lbl := Label{Key: "part", Value: strconv.Itoa(part)}
+			apply(func(reg *Registry) { reg.Gauge("level", "", lbl).Set(v) })
+		}
+	}
+}
+
+// TestRegistryMergeProperty is the satellite property test: across random
+// workloads, merging registries is (1) order-insensitive — any permutation of
+// parts exports identical bytes, (2) associative — left and right fold
+// groupings export identical bytes, and (3) faithful — both match the
+// sequential reference that absorbed every operation directly. Holds for
+// counters and gauges outright (gauges under the one-writer-per-series
+// partitioning the harness guarantees) and bit-identically for histogram
+// sums because the workload uses exactly-representable values.
+func TestRegistryMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 40; iter++ {
+		k := 2 + rng.Intn(4)
+		parts := make([]*Registry, k)
+		ref := NewRegistry()
+		for j := range parts {
+			parts[j] = NewRegistry()
+			randomPart(rng, parts[j], ref, j)
+		}
+		want := string(ref.PrometheusText())
+
+		// (1) order-insensitivity over a random permutation.
+		perm := rng.Perm(k)
+		shuffled := NewRegistry()
+		for _, j := range perm {
+			shuffled.Merge(parts[j])
+		}
+		if got := string(shuffled.PrometheusText()); got != want {
+			t.Fatalf("iter %d: permuted merge %v differs from sequential:\n--- want\n%s--- got\n%s",
+				iter, perm, want, got)
+		}
+
+		// (2) associativity: ((p0 ⊕ p1) ⊕ p2) … vs (p0 ⊕ (p1 ⊕ (p2 ⊕ …))).
+		left := parts[0]
+		for j := 1; j < k; j++ {
+			left = combine(left, parts[j])
+		}
+		right := parts[k-1]
+		for j := k - 2; j >= 0; j-- {
+			right = combine(parts[j], right)
+		}
+		lt, rt := string(left.PrometheusText()), string(right.PrometheusText())
+		if lt != rt {
+			t.Fatalf("iter %d: merge is not associative:\n--- left fold\n%s--- right fold\n%s", iter, lt, rt)
+		}
+		// (3) faithfulness to the sequential reference.
+		if lt != want {
+			t.Fatalf("iter %d: folded merge differs from sequential reference:\n--- want\n%s--- got\n%s",
+				iter, want, lt)
 		}
 	}
 }

@@ -35,14 +35,23 @@ type Scope struct {
 	reg    *Registry
 	tracer *Tracer
 	labels []Label
+	tid    int64
 }
 
 // Nop returns the no-op scope. Identical to the zero value.
 func Nop() Scope { return Scope{} }
 
 // New returns a scope exporting metrics to reg and events to tr. Either may
-// be nil to disable that half.
-func New(reg *Registry, tr *Tracer) Scope { return Scope{reg: reg, tracer: tr} }
+// be nil to disable that half. When both halves are live the tracer's
+// eviction count is mirrored into liteflow_trace_evicted_total, so silent
+// trace-ring overflow shows up in /metrics.
+func New(reg *Registry, tr *Tracer) Scope {
+	if reg != nil && tr != nil {
+		tr.bindEvictedCounter(reg.Counter("liteflow_trace_evicted_total",
+			"trace events displaced by ring-buffer overflow"))
+	}
+	return Scope{reg: reg, tracer: tr}
+}
 
 // With returns a scope whose instruments carry the additional base labels
 // (prepended before per-instrument labels, in order).
@@ -50,8 +59,20 @@ func (s Scope) With(labels ...Label) Scope {
 	merged := make([]Label, 0, len(s.labels)+len(labels))
 	merged = append(merged, s.labels...)
 	merged = append(merged, labels...)
-	return Scope{reg: s.reg, tracer: s.tracer, labels: merged}
+	return Scope{reg: s.reg, tracer: s.tracer, labels: merged, tid: s.tid}
 }
+
+// WithTid returns a scope whose trace events carry the given thread-track ID
+// (Chrome trace "tid"). Fleet provisioning sets member index + 1 so each
+// member's events render on its own track; tid 0 is the shared/controller
+// track.
+func (s Scope) WithTid(tid int64) Scope {
+	s.tid = tid
+	return s
+}
+
+// Tid returns the scope's thread-track ID (0 unless set with WithTid).
+func (s Scope) Tid() int64 { return s.tid }
 
 // Enabled reports whether the scope exports anywhere.
 func (s Scope) Enabled() bool { return s.reg != nil || s.tracer != nil }
@@ -112,7 +133,7 @@ func (s Scope) Event(cat, name string, at int64) {
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Emit(Event{At: at, Cat: cat, Name: name})
+	s.tracer.Emit(Event{At: at, Tid: s.tid, Cat: cat, Name: name})
 }
 
 // Event1 records an instant event with one integer argument.
@@ -120,7 +141,7 @@ func (s Scope) Event1(cat, name string, at int64, k string, v int64) {
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 1,
+	s.tracer.Emit(Event{At: at, Tid: s.tid, Cat: cat, Name: name, NArgs: 1,
 		Args: [2]Arg{{Key: k, Val: v}}})
 }
 
@@ -129,7 +150,7 @@ func (s Scope) Event2(cat, name string, at int64, k1 string, v1 int64, k2 string
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 2,
+	s.tracer.Emit(Event{At: at, Tid: s.tid, Cat: cat, Name: name, NArgs: 2,
 		Args: [2]Arg{{Key: k1, Val: v1}, {Key: k2, Val: v2}}})
 }
 
@@ -138,7 +159,7 @@ func (s Scope) EventStr(cat, name string, at int64, k, v string) {
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 1,
+	s.tracer.Emit(Event{At: at, Tid: s.tid, Cat: cat, Name: name, NArgs: 1,
 		Args: [2]Arg{{Key: k, Str: v}}})
 }
 
@@ -149,7 +170,7 @@ func (s Scope) EventMix(cat, name string, at int64, k1 string, v1 int64, k2, v2 
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Emit(Event{At: at, Cat: cat, Name: name, NArgs: 2,
+	s.tracer.Emit(Event{At: at, Tid: s.tid, Cat: cat, Name: name, NArgs: 2,
 		Args: [2]Arg{{Key: k1, Val: v1}, {Key: k2, Str: v2}}})
 }
 
@@ -158,7 +179,7 @@ func (s Scope) Span(cat, name string, at, dur int64) {
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Emit(Event{At: at, Dur: dur, Cat: cat, Name: name})
+	s.tracer.Emit(Event{At: at, Dur: dur, Tid: s.tid, Cat: cat, Name: name})
 }
 
 // Span1 records a complete event with one integer argument.
@@ -166,6 +187,6 @@ func (s Scope) Span1(cat, name string, at, dur int64, k string, v int64) {
 	if s.tracer == nil {
 		return
 	}
-	s.tracer.Emit(Event{At: at, Dur: dur, Cat: cat, Name: name, NArgs: 1,
+	s.tracer.Emit(Event{At: at, Dur: dur, Tid: s.tid, Cat: cat, Name: name, NArgs: 1,
 		Args: [2]Arg{{Key: k, Val: v}}})
 }

@@ -275,3 +275,98 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestEvictionCounterAndWarning: satellite contract — ring overflow is
+// visible as liteflow_trace_evicted_total, the one-time callback fires on
+// first eviction only, and exports prepend a single synthetic warning event.
+func TestEvictionCounterAndWarning(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(4)
+	sc := obs.New(reg, tr)
+
+	var warnings int
+	tr.SetOnFirstEviction(func() { warnings++ })
+	for i := 0; i < 10; i++ {
+		sc.Event("c", "n", int64(i))
+	}
+	if tr.Evicted() != 6 {
+		t.Fatalf("evicted = %d, want 6", tr.Evicted())
+	}
+	if warnings != 1 {
+		t.Fatalf("first-eviction callback fired %d times, want 1", warnings)
+	}
+	if !strings.Contains(string(reg.PrometheusText()), "liteflow_trace_evicted_total 6") {
+		t.Fatalf("eviction counter missing from exposition:\n%s", reg.PrometheusText())
+	}
+
+	var jb bytes.Buffer
+	if err := tr.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jb.String()), "\n")
+	if len(lines) != 5 { // 4 retained + 1 synthetic warning
+		t.Fatalf("got %d JSONL lines, want 5:\n%s", len(lines), jb.String())
+	}
+	if !strings.Contains(lines[0], "trace_ring_overflow") || !strings.Contains(lines[0], `"evicted":6`) {
+		t.Fatalf("synthetic overflow warning missing or wrong: %s", lines[0])
+	}
+	var cb bytes.Buffer
+	if err := tr.WriteChromeTrace(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(cb.Bytes()) || !strings.Contains(cb.String(), "trace_ring_overflow") {
+		t.Fatalf("chrome trace missing overflow warning:\n%s", cb.String())
+	}
+
+	// Binding seeds pre-existing evictions: a scope created late still
+	// reports the full count.
+	reg2 := obs.NewRegistry()
+	obs.New(reg2, tr)
+	if !strings.Contains(string(reg2.PrometheusText()), "liteflow_trace_evicted_total 6") {
+		t.Fatalf("late binding lost prior evictions:\n%s", reg2.PrometheusText())
+	}
+}
+
+// TestHTTPEndpointsContentTypes: every obs endpoint declares its media type,
+// /debug/trace honors ?format=jsonl, and /debug/flight serves the recording.
+func TestHTTPEndpointsContentTypes(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	sc := obs.New(reg, tr)
+	sc.Counter("liteflow_test_n_total", "").Inc()
+	sc.Event("c", "n", 1)
+	fr := obs.NewFlightRecorder(8)
+	fr.Sample(reg, 100)
+	h := obs.NewHTTPHandler(reg, tr, fr)
+
+	cases := []struct {
+		path, wantType, wantBody string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8", "liteflow_test_n_total 1"},
+		{"/debug/trace", "application/json", `"traceEvents"`},
+		{"/debug/trace?format=jsonl", "application/x-ndjson", `"name":"n"`},
+		{"/debug/trace.jsonl", "application/x-ndjson", `"name":"n"`},
+		{"/debug/flight", "application/x-ndjson", `"series":"liteflow_test_n_total"`},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", c.path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s returned %d", c.path, rec.Code)
+		}
+		if got := rec.Header().Get("Content-Type"); got != c.wantType {
+			t.Errorf("%s Content-Type = %q, want %q", c.path, got, c.wantType)
+		}
+		if !strings.Contains(rec.Body.String(), c.wantBody) {
+			t.Errorf("%s body missing %q:\n%s", c.path, c.wantBody, rec.Body.String())
+		}
+	}
+
+	// Without a recorder, /debug/flight 404s like the other nil halves.
+	h2 := obs.NewHTTPHandler(reg, tr)
+	rec := httptest.NewRecorder()
+	h2.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/flight without recorder returned %d, want 404", rec.Code)
+	}
+}

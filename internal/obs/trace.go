@@ -18,9 +18,18 @@ type Arg struct {
 // Event is one structured trace record. At is virtual simulation time in
 // nanoseconds; Dur > 0 marks a complete (span) event covering [At, At+Dur).
 // Events carry at most two arguments so emission never allocates.
+//
+// Pid and Tid map onto the Chrome trace-event process/thread IDs and give
+// events a place in the flame-graph hierarchy: the span tracer sets Pid to
+// the snapshot version (epoch) and Tid to member index + 1, so a whole fleet
+// rollout of one version groups under a single process row with one thread
+// track per member (tid 0 is the fleet-wide/controller track). Events that
+// predate span tracing leave both zero.
 type Event struct {
 	At    int64
 	Dur   int64
+	Pid   int64
+	Tid   int64
 	Cat   string
 	Name  string
 	Args  [2]Arg
@@ -40,6 +49,14 @@ type Tracer struct {
 	start   int
 	n       int
 	evicted int64
+	// evictedCounter mirrors evicted into a registry counter
+	// (liteflow_trace_evicted_total) when the tracer is bound to one via
+	// New, so silent ring overflow is visible in /metrics.
+	evictedCounter *Counter
+	// onFirstEvict fires once, the first time this tracer evicts — the
+	// CLIs use it to warn on stderr the moment history starts being lost.
+	onFirstEvict func()
+	evictWarned  bool
 }
 
 // NewTracer returns a tracer retaining up to capacity events
@@ -57,6 +74,7 @@ func (t *Tracer) Emit(e Event) {
 		return
 	}
 	t.mu.Lock()
+	var firstEvict func()
 	if t.n < len(t.buf) {
 		t.buf[(t.start+t.n)%len(t.buf)] = e
 		t.n++
@@ -64,7 +82,38 @@ func (t *Tracer) Emit(e Event) {
 		t.buf[t.start] = e
 		t.start = (t.start + 1) % len(t.buf)
 		t.evicted++
+		t.evictedCounter.Inc()
+		if !t.evictWarned {
+			t.evictWarned = true
+			firstEvict = t.onFirstEvict
+		}
 	}
+	t.mu.Unlock()
+	if firstEvict != nil {
+		firstEvict()
+	}
+}
+
+// bindEvictedCounter mirrors the eviction count into c from now on, seeding
+// it with evictions that happened before binding.
+func (t *Tracer) bindEvictedCounter(c *Counter) {
+	if t == nil || c == nil {
+		return
+	}
+	t.mu.Lock()
+	t.evictedCounter = c
+	c.Add(t.evicted)
+	t.mu.Unlock()
+}
+
+// SetOnFirstEviction registers fn to run once, when the tracer first evicts
+// an event. The callback runs outside the tracer lock and must not Emit.
+func (t *Tracer) SetOnFirstEviction(fn func()) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onFirstEvict = fn
 	t.mu.Unlock()
 }
 
@@ -119,7 +168,30 @@ func (t *Tracer) Reset() {
 	}
 	t.mu.Lock()
 	t.start, t.n, t.evicted = 0, 0, 0
+	t.evictWarned = false
 	t.mu.Unlock()
+}
+
+// exportEvents returns the retained events for serialization. When the ring
+// has overflowed, a synthetic one-time warning event is prepended (stamped at
+// the oldest retained timestamp) so every export that lost history says so
+// in-band. The warning is synthesized at export time rather than emitted into
+// the ring because a real event would occur at different points in serial vs
+// merged parallel runs and break byte-identical exports; the merged eviction
+// total is identical in both, so this stays deterministic.
+func (t *Tracer) exportEvents() []Event {
+	events := t.Events()
+	n := t.Evicted()
+	if n == 0 {
+		return events
+	}
+	var at int64
+	if len(events) > 0 {
+		at = events[0].At
+	}
+	warn := Event{At: at, Cat: "obs", Name: "trace_ring_overflow", NArgs: 1,
+		Args: [2]Arg{{Key: "evicted", Val: n}}}
+	return append([]Event{warn}, events...)
 }
 
 // WriteChromeTrace serializes the retained events as Chrome trace-event JSON
@@ -128,7 +200,7 @@ func (t *Tracer) Reset() {
 // Timestamps are virtual microseconds with nanosecond fractions, so the
 // output is byte-identical across same-seed runs.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := t.Events()
+	events := t.exportEvents()
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
 	for i := range events {
@@ -155,7 +227,10 @@ func writeChromeEvent(bw *bufio.Writer, e *Event) {
 		bw.WriteString(`,"ph":"i","s":"g","ts":`)
 		writeMicros(bw, e.At)
 	}
-	bw.WriteString(`,"pid":0,"tid":0`)
+	bw.WriteString(`,"pid":`)
+	bw.WriteString(strconv.FormatInt(e.Pid, 10))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.FormatInt(e.Tid, 10))
 	if e.NArgs > 0 {
 		bw.WriteString(`,"args":{`)
 		writeArgs(bw, e)
@@ -166,8 +241,10 @@ func writeChromeEvent(bw *bufio.Writer, e *Event) {
 
 // WriteJSONL serializes the retained events as JSON lines, one event per
 // line with nanosecond virtual timestamps — the grep/jq-friendly form.
+// Lines follow ring emission order, which span flushing can leave slightly
+// non-chronological; sort by "at" when order matters.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
-	events := t.Events()
+	events := t.exportEvents()
 	bw := bufio.NewWriter(w)
 	for i := range events {
 		e := &events[i]
@@ -176,6 +253,14 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		if e.Dur > 0 {
 			bw.WriteString(`,"dur":`)
 			bw.WriteString(strconv.FormatInt(e.Dur, 10))
+		}
+		if e.Pid != 0 {
+			bw.WriteString(`,"pid":`)
+			bw.WriteString(strconv.FormatInt(e.Pid, 10))
+		}
+		if e.Tid != 0 {
+			bw.WriteString(`,"tid":`)
+			bw.WriteString(strconv.FormatInt(e.Tid, 10))
 		}
 		bw.WriteString(`,"cat":`)
 		bw.Write(strconv.AppendQuote(nil, e.Cat))

@@ -325,6 +325,16 @@ type (
 	Tracer = obs.Tracer
 	// MetricLabel is one key=value metric dimension.
 	MetricLabel = obs.Label
+	// FlightRecorder samples every registry series into per-series ring
+	// buffers on a virtual-time tick and answers windowed rate/level
+	// queries (Window, Delta) — the canary-gate primitive.
+	FlightRecorder = obs.FlightRecorder
+	// FlightWindow is a closed virtual-time interval for FlightRecorder
+	// queries.
+	FlightWindow = obs.TimeWindow
+	// SpanTracer mints snapshot-lifecycle spans keyed by snapshot version;
+	// see internal/obs and DESIGN.md §4g.
+	SpanTracer = obs.SpanTracer
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -334,14 +344,20 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // (<= 0 selects the default capacity).
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
+// NewFlightRecorder returns a flight recorder retaining up to capacity
+// points per series (<= 0 selects the default capacity). Drive it from the
+// simulation with Sample(reg, now) on a fixed virtual-time tick.
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
 // NewScope binds a registry and tracer (either may be nil) into a Scope to
 // pass via WithScope to NewCore, NewHostCPU, NewNetlinkChannel, NewSlowPath
 // and the topology builders.
 func NewScope(reg *MetricsRegistry, tr *Tracer) Scope { return obs.New(reg, tr) }
 
-// NewTelemetryHandler serves /metrics (Prometheus text format) and
-// /debug/trace (Chrome trace-event JSON) for the given registry and tracer;
-// either may be nil.
-func NewTelemetryHandler(reg *MetricsRegistry, tr *Tracer) http.Handler {
-	return obs.NewHTTPHandler(reg, tr)
+// NewTelemetryHandler serves /metrics (Prometheus text format),
+// /debug/trace (Chrome trace-event JSON; ?format=jsonl for JSON lines) and —
+// when a flight recorder is supplied — /debug/flight (JSON lines) for the
+// given registry and tracer; any argument may be nil.
+func NewTelemetryHandler(reg *MetricsRegistry, tr *Tracer, flight ...*FlightRecorder) http.Handler {
+	return obs.NewHTTPHandler(reg, tr, flight...)
 }
