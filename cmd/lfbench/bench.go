@@ -51,10 +51,14 @@ type benchModeOptions struct {
 	scale       float64
 	seed        int64
 	cacheShards int
-	out         string
-	baseline    string
-	tolerance   float64
-	allocsOnly  bool
+	// domains, when ≥ 1, additionally measures every experiment that
+	// supports partitioned execution under -sim-domains, as a separate
+	// "exp/<id>@d<N>" entry next to the serial one.
+	domains    int
+	out        string
+	baseline   string
+	tolerance  float64
+	allocsOnly bool
 }
 
 func runBenchMode(o benchModeOptions, stdout, stderr io.Writer) int {
@@ -80,6 +84,17 @@ func runBenchMode(o benchModeOptions, stdout, stderr io.Writer) int {
 			}
 		}))
 		fmt.Fprintf(stderr, "(measured exp/%s)\n", r.ID)
+		if o.domains >= 1 && experiments.SupportsDomains(r.ID) {
+			dcfg := cfg
+			dcfg.Domains = o.domains
+			name := fmt.Sprintf("exp/%s@d%d", r.ID, o.domains)
+			snap.Entries = append(snap.Entries, measure(name, func(n int) {
+				for i := 0; i < n; i++ {
+					run(dcfg)
+				}
+			}))
+			fmt.Fprintf(stderr, "(measured %s)\n", name)
+		}
 	}
 	snap.Entries = append(snap.Entries, measureQueryMicrobenches()...)
 	snap.Entries = append(snap.Entries, measureCacheMicrobenches()...)

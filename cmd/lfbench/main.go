@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		flightOut   = fs.String("flight-out", "", "write the flight recording as JSON lines to this file (recorded by experiments that drive a flight recorder, e.g. the fleet scenarios)")
 		flightEvery = fs.Duration("flight-interval", 0, "virtual-time flight-recorder sampling interval (0 = per-experiment default)")
 		cacheShards = fs.Int("cache-shards", 0, "flow-cache shard count for cache-bound experiments (0 = core default; rounded up to a power of two)")
+		simDomains  = fs.Int("sim-domains", 0, "run the experiments that support partitioned execution on a conservative-lookahead parallel engine with this many worker goroutines (0 = classic serial engine); reports are byte-identical for every value, see DESIGN.md §4h")
 
 		benchOut       = fs.String("bench-out", "", "measure ns/op + allocs/op and write a JSON snapshot to this file")
 		benchBaseline  = fs.String("bench-baseline", "", "compare a fresh measurement against this JSON snapshot; exit 1 on regression")
@@ -72,7 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *benchOut != "" || *benchBaseline != "" {
 		return runBenchMode(benchModeOptions{
 			exp: *exp, scale: *scale, seed: *seed, cacheShards: *cacheShards,
-			out: *benchOut, baseline: *benchBaseline,
+			domains: *simDomains,
+			out:     *benchOut, baseline: *benchBaseline,
 			tolerance: *benchTolerance, allocsOnly: *benchAllocs,
 		}, stdout, stderr)
 	}
@@ -81,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var tracer *obs.Tracer
 	var flight *obs.FlightRecorder
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, CacheShards: *cacheShards,
-		FlightEvery: netsim.Time(flightEvery.Nanoseconds())}
+		FlightEvery: netsim.Time(flightEvery.Nanoseconds()), Domains: *simDomains}
 	if *trace != "" || *metricsOut != "" || *flightOut != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer(0)

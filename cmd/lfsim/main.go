@@ -68,6 +68,8 @@ type options struct {
 	reps      int
 	parallel  int
 
+	simDomains int
+
 	cacheTimeout time.Duration
 	cacheShards  int
 
@@ -98,6 +100,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 2, "base random seed; rep r runs at seed+r (and fault-seed+r)")
 	flag.IntVar(&o.reps, "reps", 1, "repetitions of the scenario; reports median/p95 aggregate goodput")
 	flag.IntVar(&o.parallel, "parallel", 1, "worker-pool size for -reps (each rep owns a private engine)")
+	flag.IntVar(&o.simDomains, "sim-domains", 0, "run the CC scenario on a conservative-lookahead parallel engine with this many worker goroutines (0 = classic serial engine); reports are byte-identical for every value, see DESIGN.md §4h")
 	flag.DurationVar(&o.cacheTimeout, "cache-timeout", 0, "lf-* schemes: flow-cache idle timeout (0 = entries pinned for the whole run)")
 	flag.IntVar(&o.cacheShards, "cache-shards", 0, "lf-* schemes: flow-cache shard count (0 = default; rounded up to a power of two)")
 	flag.StringVar(&o.faultProfile, "fault-profile", "none", "fault injection profile: none | netlink | slowpath | chaos")
@@ -244,14 +247,21 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		return 0, fmt.Errorf("unknown fault profile %q (want none|netlink|slowpath|chaos)", o.faultProfile)
 	}
 	if o.fleet > 0 {
+		if o.simDomains >= 1 {
+			return 0, fmt.Errorf("-sim-domains does not apply to -fleet scenarios (the distribution plane schedules across members and runs on the classic engine)")
+		}
 		return runFleet(o, rep, prof.Active(), sc, reg, tracer, flight, stdout, stderr)
 	}
-	var inj *fault.Injector
-	if prof.Active() {
-		inj = fault.New(prof, o.faultSeed+int64(rep), sc)
+	if flight != nil && o.simDomains >= 1 {
+		return 0, fmt.Errorf("-flight-out/-listen sample fleet-wide metrics on a virtual-time tick, which would read other partitions mid-window; drop -sim-domains for flight recording")
 	}
 
-	eng := netsim.NewEngine()
+	var eng *netsim.Engine
+	if o.simDomains >= 1 {
+		eng = netsim.NewParallelEngine(o.simDomains)
+	} else {
+		eng = netsim.NewEngine()
+	}
 	opts := topo.TestbedOpts(1)
 	if !o.congested {
 		opts.BottleneckBps = 40e9
@@ -262,10 +272,21 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 	d.ProvisionCPUs(4, costs, opt.WithScope(sc))
 	sender, receiver := d.Senders[0], d.Receivers[0]
 
+	// Everything that drives the sender — congestion controllers, the
+	// LiteFlow core, the slow path, fault injection — schedules on the sender
+	// host's partition view. On a classic engine these alias eng, so the
+	// serial schedule is untouched.
+	ctlEng := sender.Eng
+	ctlSC := sender.Eng.PartitionScope(sc)
+
+	var inj *fault.Injector
+	if prof.Active() {
+		inj = fault.New(prof, o.faultSeed+int64(rep), ctlSC)
+	}
 	if inj != nil {
 		// CPU overload spikes land on the sender host, where the fast path
 		// and the slow path both live.
-		inj.StartCPUSpikes(eng, func(work int64) {
+		inj.StartCPUSpikes(ctlEng, func(work int64) {
 			sender.CPU.Charge(ksim.SoftIRQ, netsim.Time(work))
 		})
 		defer inj.StopCPUSpikes()
@@ -299,7 +320,7 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 			cfg := core.DefaultConfig()
 			cfg.FlowCacheTimeout = netsim.Time(o.cacheTimeout.Nanoseconds())
 			cfg.FlowCacheShards = o.cacheShards
-			coreOpts := []opt.Option{opt.WithScope(sc)}
+			coreOpts := []opt.Option{opt.WithScope(ctlSC)}
 			if inj != nil && o.adapt {
 				// With faults on, arm the watchdog so a stalled slow path
 				// degrades gracefully instead of serving a half-built
@@ -308,7 +329,7 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 					Window: 3 * o.batchT.Nanoseconds(),
 				}))
 			}
-			lf = core.NewCore(eng, sender.CPU, costs, cfg, coreOpts...)
+			lf = core.NewCore(ctlEng, sender.CPU, costs, cfg, coreOpts...)
 			mod, err := codegen.Build(quant.Quantize(net, cfg.Quant), "model")
 			if err != nil {
 				return 0, err
@@ -317,8 +338,8 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 				return 0, err
 			}
 			if o.adapt {
-				ch = netlink.NewChannel(eng, sender.CPU, costs, nil,
-					opt.WithScope(sc), opt.WithFaults(inj))
+				ch = netlink.NewChannel(ctlEng, sender.CPU, costs, nil,
+					opt.WithScope(ctlSC), opt.WithFaults(inj))
 				svc = core.NewSlowPath(lf, ch, staticUser{net}, staticUser{net}, staticUser{net},
 					opt.WithFaults(inj))
 				svc.Start(netsim.Time(o.batchT.Nanoseconds()))
@@ -340,15 +361,15 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		case "lf-aurora", "lf-mocc":
 			var backend cc.Backend = core.NewFlowBackend(lf, flow)
 			if ch != nil {
-				backend = &sampledBackend{inner: backend, ch: ch, eng: eng}
+				backend = &sampledBackend{inner: backend, ch: ch, eng: ctlEng}
 			}
-			m := cc.NewMIController(eng, backend, 500e6)
+			m := cc.NewMIController(ctlEng, backend, 500e6)
 			ctrls = append(ctrls, m)
 			return m
 		case "ccp-aurora", "ccp-mocc":
-			b := &cc.CCPBackend{Eng: eng, CPU: sender.CPU, Costs: costs,
+			b := &cc.CCPBackend{Eng: ctlEng, CPU: sender.CPU, Costs: costs,
 				Policy: policy, Interval: netsim.Time(o.interval.Nanoseconds()), UserMACs: macs}
-			m := cc.NewMIController(eng, b, 500e6)
+			m := cc.NewMIController(ctlEng, b, 500e6)
 			ctrls = append(ctrls, m)
 			return m
 		}

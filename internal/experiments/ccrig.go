@@ -105,6 +105,10 @@ type ccRun struct {
 	warmup      netsim.Time
 	dur         netsim.Time
 	sampleQueue bool
+	// domains selects the engine: 0 builds the classic serial engine, ≥ 1
+	// builds a partitioned conservative-lookahead engine executing on that
+	// many worker goroutines (Config.Domains).
+	domains int
 }
 
 // ccOut carries everything the CC figures read off a run.
@@ -124,8 +128,20 @@ type ccOut struct {
 // runCC executes one scheme on the §2.2 testbed analog: one sender host and
 // one receiver host (both 4-core), N flows between them, plus background UDP
 // when congested.
+//
+// With r.domains ≥ 1 the dumbbell runs on a partitioned engine: each host and
+// switch is its own partition (BuildDumbbell), the congestion controllers and
+// the LiteFlow core live in the sender's partition, the goodput window tick
+// in the receiver's, and the queue sampler in the bottleneck's. In classic
+// mode (domains == 0) every partition view below aliases the one engine, so
+// the serial schedule — and the golden outputs — are untouched.
 func runCC(r ccRun) ccOut {
-	eng := netsim.NewEngine()
+	var eng *netsim.Engine
+	if r.domains >= 1 {
+		eng = netsim.NewParallelEngine(r.domains)
+	} else {
+		eng = netsim.NewEngine()
+	}
 	opts := topo.TestbedOpts(1)
 	if !r.congested {
 		opts.BottleneckBps = 40e9
@@ -153,9 +169,9 @@ func runCC(r ccRun) ccOut {
 	var lfCore *core.Core
 	switch r.scheme.dep {
 	case depLFAurora, depLFDummy:
-		lfCore = buildLFCore(eng, cpu, aur, "aurora")
+		lfCore = buildLFCore(sender.Eng, cpu, aur, "aurora")
 	case depLFMOCC:
-		lfCore = buildLFCore(eng, cpu, mocc, "mocc")
+		lfCore = buildLFCore(sender.Eng, cpu, mocc, "mocc")
 	}
 
 	var ctrls []*cc.MIController
@@ -167,7 +183,7 @@ func runCC(r ccRun) ccOut {
 		case depCUBIC:
 			return &ackCosted{CongestionControl: cc.NewCubic(), cpu: cpu, cost: cubicAckCost}
 		case depLFAurora, depLFMOCC:
-			m := cc.NewMIController(eng, core.NewFlowBackend(lfCore, flow), initRate)
+			m := cc.NewMIController(sender.Eng, core.NewFlowBackend(lfCore, flow), initRate)
 			ctrls = append(ctrls, m)
 			return m
 		case depLFDummy:
@@ -180,7 +196,7 @@ func runCC(r ccRun) ccOut {
 			inferCost := ksim.InferCost(costs.KernelInferPerMAC, prog.MACs())
 			b := &cc.DirectBackend{Policy: cc.PolicyFunc(func([]float64) float64 { return 1 }),
 				CPU: cpu, Cost: inferCost, Cat: ksim.Kernel}
-			m := cc.NewMIController(eng, b, initRate)
+			m := cc.NewMIController(sender.Eng, b, initRate)
 			m.MaxRate = 1_600_000_000 / int64(r.flows)
 			ctrls = append(ctrls, m)
 			return m
@@ -191,9 +207,9 @@ func runCC(r ccRun) ccOut {
 				policy = cc.NewNNPolicy(mocc)
 				macs = mocc.MACs()
 			}
-			b := &cc.CCPBackend{Eng: eng, CPU: cpu, Costs: costs,
+			b := &cc.CCPBackend{Eng: sender.Eng, CPU: cpu, Costs: costs,
 				Policy: policy, Interval: r.scheme.interval, UserMACs: macs}
-			m := cc.NewMIController(eng, b, initRate)
+			m := cc.NewMIController(sender.Eng, b, initRate)
 			ctrls = append(ctrls, m)
 			return m
 		}
@@ -224,9 +240,12 @@ func runCC(r ccRun) ccOut {
 	}
 
 	// Flow-0 goodput windows every 100 ms (the paper measures every 0.1 s).
+	// The tick runs in the receiver's partition: perFlow is written by the
+	// receiver's OnDeliver, so sampling it anywhere else would race under
+	// windowed execution.
 	var windowTick func()
 	windowTick = func() {
-		eng.After(100*netsim.Millisecond, func() {
+		receiver.Eng.After(100*netsim.Millisecond, func() {
 			if measuring {
 				delta := perFlow[0] - lastWindowBytes
 				lastWindowBytes = perFlow[0]
@@ -240,11 +259,13 @@ func runCC(r ccRun) ccOut {
 	var queueTS *stats.TimeSeries
 	if r.sampleQueue {
 		queueTS = stats.NewTimeSeries(10 * netsim.Millisecond)
+		// The bottleneck queue belongs to the left switch's partition.
+		qEng := d.Bottleneck.Engine()
 		var qTick func()
 		qTick = func() {
-			eng.After(10*netsim.Millisecond, func() {
+			qEng.After(10*netsim.Millisecond, func() {
 				if measuring {
-					queueTS.Add(eng.Now()-r.warmup, float64(d.QueueBytes()))
+					queueTS.Add(qEng.Now()-r.warmup, float64(d.QueueBytes()))
 				}
 				qTick()
 			})

@@ -120,6 +120,72 @@ func TestGoldenSuiteSerialVsParallel(t *testing.T) {
 	}
 }
 
+// TestEngineSerialVsParallelByteIdentical is the golden invariant of the
+// conservative-lookahead engine (DESIGN.md §4h): every registered experiment,
+// run with -sim-domains 1, 2, 4 and 8, must produce byte-identical reports,
+// byte-identical Prometheus text and a byte-identical trace JSONL stream. The
+// windowed single-domain run (Domains=1) is the reference; higher domain
+// counts only change which worker executes a partition, never the schedule.
+// Experiments outside SupportsDomains ignore Config.Domains entirely, so for
+// them the sweep degenerates to verifying the knob is inert end-to-end — they
+// run at domains 1 and 8 only, which keeps the quadruple-suite run tractable
+// without shrinking coverage.
+func TestEngineSerialVsParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-domain full-suite golden run is slow; skipped with -short")
+	}
+	type export struct {
+		report string
+		prom   []byte
+		trace  []byte
+	}
+	runAt := func(r Runner, domains int) export {
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(0)
+		cfg := Config{Scale: 0.02, Seed: 3, Obs: obs.New(reg, tr), Domains: domains}
+		rep := r.Run(cfg).String()
+		var tb bytes.Buffer
+		if err := tr.WriteJSONL(&tb); err != nil {
+			t.Fatal(err)
+		}
+		return export{report: rep, prom: reg.PrometheusText(), trace: tb.Bytes()}
+	}
+	partitioned := 0
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			sweep := []int{2, 4, 8}
+			if !SupportsDomains(r.ID) {
+				sweep = []int{8}
+			} else {
+				partitioned++
+			}
+			base := runAt(r, 1)
+			if base.report == "" {
+				t.Fatal("empty report; golden comparison is vacuous")
+			}
+			for _, d := range sweep {
+				got := runAt(r, d)
+				if got.report != base.report {
+					t.Errorf("report differs between domains=1 and domains=%d", d)
+					diffFirstLine(t, base.report, got.report)
+				}
+				if !bytes.Equal(got.prom, base.prom) {
+					t.Errorf("Prometheus export differs between domains=1 and domains=%d", d)
+					diffFirstLine(t, string(base.prom), string(got.prom))
+				}
+				if !bytes.Equal(got.trace, base.trace) {
+					t.Errorf("trace JSONL differs between domains=1 and domains=%d (%d vs %d bytes)",
+						d, len(base.trace), len(got.trace))
+				}
+			}
+		})
+	}
+	if partitioned == 0 {
+		t.Error("no experiment supports domains; the sweep tested nothing")
+	}
+}
+
 // diffFirstLine logs the first differing line of two texts, so a golden
 // failure names the drifting experiment or metric instead of dumping both
 // multi-thousand-line documents.

@@ -36,6 +36,25 @@ type Config struct {
 	// FlightEvery is the flight-recorder sampling tick (0 = per-experiment
 	// default).
 	FlightEvery netsim.Time
+	// Domains, when ≥ 1, runs the experiments that support partitioned
+	// execution (see SupportsDomains) on a conservative-lookahead parallel
+	// engine with that many worker goroutines. 0 keeps the classic serial
+	// engine. Partitioned output is byte-identical for every Domains value;
+	// see DESIGN.md §4h. Set by -sim-domains on both CLIs.
+	Domains int
+}
+
+// SupportsDomains reports whether the experiment with the given ID honors
+// Config.Domains. Today that is the dumbbell family — the experiments whose
+// event rate dominates the benchmark suite; the remaining experiments build
+// topologies (fleet provisioning, toy links) that schedule across entities
+// and stay on the classic engine regardless of Domains.
+func SupportsDomains(id string) bool {
+	switch id {
+	case "fig1a", "fig1b", "fig3", "fig4", "fig11", "fig13", "dummy":
+		return true
+	}
+	return false
 }
 
 // DefaultConfig returns the full-scale configuration.

@@ -31,7 +31,7 @@ func Fig11(cfg Config) Result {
 	mean := Series{Name: "goodput"}
 	for i, sc := range schemes {
 		out := runCC(ccRun{scheme: sc, flows: 1, congested: true,
-			warmup: cfg.dur(3 * netsim.Second), dur: cfg.dur(8 * netsim.Second)})
+			warmup: cfg.dur(3 * netsim.Second), dur: cfg.dur(8 * netsim.Second), domains: cfg.Domains})
 		m := out.windows.Mean()
 		std := out.windows.Quantile(0.84) - out.windows.Quantile(0.16)
 		mean.X = append(mean.X, float64(i))
@@ -65,7 +65,7 @@ func Fig13(cfg Config) Result {
 		s := Series{Name: sc.name}
 		for _, n := range ns {
 			out := runCC(ccRun{scheme: sc, flows: n, congested: false,
-				warmup: cfg.dur(2 * netsim.Second), dur: cfg.dur(2 * netsim.Second)})
+				warmup: cfg.dur(2 * netsim.Second), dur: cfg.dur(2 * netsim.Second), domains: cfg.Domains})
 			if sc.dep == depBBR {
 				base[n] = out.aggGbps
 				res.Notes = append(res.Notes, fmt.Sprintf("BBR N=%d aggregate %.2f Gbps", n, out.aggGbps))
@@ -93,9 +93,9 @@ func FigDummy(cfg Config) Result {
 	s := Series{Name: "LF-Dummy-NN"}
 	for _, n := range ns {
 		bbr := runCC(ccRun{scheme: scheme{name: "BBR", dep: depBBR}, flows: n, congested: false,
-			warmup: cfg.dur(netsim.Second), dur: cfg.dur(2 * netsim.Second)})
+			warmup: cfg.dur(netsim.Second), dur: cfg.dur(2 * netsim.Second), domains: cfg.Domains})
 		dummy := runCC(ccRun{scheme: scheme{name: "LF-Dummy", dep: depLFDummy}, flows: n, congested: false,
-			warmup: cfg.dur(netsim.Second), dur: cfg.dur(2 * netsim.Second)})
+			warmup: cfg.dur(netsim.Second), dur: cfg.dur(2 * netsim.Second), domains: cfg.Domains})
 		norm := 0.0
 		if bbr.aggGbps > 0 {
 			norm = dummy.aggGbps / bbr.aggGbps

@@ -23,6 +23,7 @@ func Fig01a(cfg Config) Result {
 			congested: true,
 			warmup:    cfg.dur(3 * netsim.Second),
 			dur:       cfg.dur(10 * netsim.Second),
+			domains:   cfg.Domains,
 		})
 		pts := out.windows.CDF(20)
 		s := Series{Name: fmt.Sprintf("%dms", iv/netsim.Millisecond)}
@@ -51,6 +52,7 @@ func Fig01b(cfg Config) Result {
 			warmup:      cfg.dur(3 * netsim.Second),
 			dur:         cfg.dur(6 * netsim.Second),
 			sampleQueue: true,
+			domains:     cfg.Domains,
 		})
 		s := Series{Name: fmt.Sprintf("%dms", iv/netsim.Millisecond)}
 		var qsum stats.Summary
@@ -151,7 +153,7 @@ func Fig03(cfg Config) Result {
 		s := Series{Name: sc.name}
 		for _, n := range ns {
 			out := runCC(ccRun{scheme: sc, flows: n, congested: false,
-				warmup: cfg.dur(2 * netsim.Second), dur: cfg.dur(2 * netsim.Second)})
+				warmup: cfg.dur(2 * netsim.Second), dur: cfg.dur(2 * netsim.Second), domains: cfg.Domains})
 			if sc.dep == depBBR {
 				base[n] = out.aggGbps
 			}
@@ -183,7 +185,7 @@ func Fig04(cfg Config) Result {
 	share := Series{Name: "softirq-share-%"}
 	for i, sc := range schemes {
 		out := runCC(ccRun{scheme: sc, flows: 10, congested: false,
-			warmup: cfg.dur(2 * netsim.Second), dur: cfg.dur(2 * netsim.Second)})
+			warmup: cfg.dur(2 * netsim.Second), dur: cfg.dur(2 * netsim.Second), domains: cfg.Domains})
 		ms.X = append(ms.X, float64(i))
 		ms.Y = append(ms.Y, float64(out.report.SoftIRQTime)/1e6)
 		share.X = append(share.X, float64(i))

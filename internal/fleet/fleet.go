@@ -110,6 +110,7 @@ type fleetMetrics struct {
 	abandoned      *obs.Counter
 	deferred       *obs.Counter
 	outageDrops    *obs.Counter
+	lateCatchUps   *obs.Counter
 	malformed      *obs.Counter
 	mismatched     *obs.Counter
 	staleMembers   *obs.Gauge
@@ -132,6 +133,7 @@ func newFleetMetrics(sc obs.Scope) fleetMetrics {
 		abandoned:      sc.Counter("liteflow_fleet_installs_abandoned_total", "member installs dropped: module rejected or channel closed"),
 		deferred:       sc.Counter("liteflow_fleet_installs_deferred_total", "build rounds deferred because a fan-out was still in flight"),
 		outageDrops:    sc.Counter("liteflow_fleet_outage_drops_total", "member batches dropped inside injected outages"),
+		lateCatchUps:   sc.Counter("liteflow_fleet_late_catchups_total", "catch-up installs enqueued immediately because the wave fan-out time had passed"),
 		malformed:      sc.Counter("liteflow_fleet_malformed_total", "member messages rejected by sample validation"),
 		mismatched:     sc.Counter("liteflow_fleet_fidelity_size_mismatch_total", "pooled fidelity samples skipped for output-size mismatch"),
 		staleMembers:   sc.Gauge("liteflow_fleet_stale_members", "members whose installed epoch lags the fleet epoch"),
@@ -376,7 +378,19 @@ func (c *Controller) catchUp(m *Member) {
 		// re-enqueue the current version below.
 	}
 	if m.epoch < c.epoch && !m.installing && !c.queuedFor(m) {
-		c.enqueue(installJob{m: m, mod: c.curMod, prog: c.curProg, epoch: c.epoch})
+		job := installJob{m: m, mod: c.curMod, prog: c.curProg, epoch: c.epoch}
+		// Replay the missed wave: ideally the member's install would slot in
+		// at the epoch's original fan-out instant, but a catching-up member
+		// is by definition past it. TryAt reports the stale clock as a typed
+		// ErrPastEvent (instead of the engine's scheduling panic), and the
+		// install falls back to joining the queue immediately.
+		if err := c.eng.TryAt(c.fanStart, func() { c.enqueue(job) }); err != nil {
+			if !errors.Is(err, netsim.ErrPastEvent) {
+				panic(err)
+			}
+			c.met.lateCatchUps.Inc()
+			c.enqueue(job)
+		}
 	}
 }
 

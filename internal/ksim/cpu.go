@@ -139,6 +139,30 @@ func (c *CPU) Submit(cat Category, work netsim.Time, done func()) bool {
 	return true
 }
 
+// SubmitPacket is the closure-free Submit for per-packet work: when the work
+// retires, fn(p) runs — the packet rides in the engine's typed event, so the
+// steady-state packet datapath schedules CPU completions without allocating.
+// Backlog rejection matches Submit; the caller owns (and frees) the packet
+// on rejection.
+func (c *CPU) SubmitPacket(cat Category, work netsim.Time, fn func(*netsim.Packet), p *netsim.Packet) bool {
+	now := c.eng.Now()
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	if c.busyUntil-now > c.MaxBacklog {
+		c.rejected++
+		c.rejects.Inc()
+		c.sc.Event1("cpu", "reject", now, "ns", int64(work))
+		return false
+	}
+	c.acct[cat] += work
+	c.busyUntil += c.wallTime(work)
+	c.busyNS[cat].Add(int64(work))
+	c.sc.Event1("cpu", cat.String(), now, "ns", int64(work))
+	c.eng.AtPacket(c.busyUntil, fn, p)
+	return true
+}
+
 // Charge accounts CPU time without scheduling a completion callback and
 // without backlog rejection. Use it for background work whose completion is
 // tracked elsewhere (e.g. a userspace trainer's compute burst).

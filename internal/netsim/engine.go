@@ -5,11 +5,32 @@
 // ACK clocking, queue build-up, ECN marking, loss — that make the placement
 // of an adaptive NN's control path matter.
 //
-// The engine is single-threaded by design: all state mutation happens inside
-// event callbacks, so entities need no locks and runs are reproducible.
+// The engine comes in two modes. NewEngine builds the classic single-threaded
+// engine: all state mutation happens inside event callbacks, entities need no
+// locks, and runs are reproducible. NewParallelEngine builds a partitioned
+// conservative-lookahead engine (DESIGN.md §4h): entities are placed into
+// partitions (AddPartition), each partition owns a private event queue and
+// virtual clock, and execution proceeds in windows bounded by the minimum
+// cross-partition link delay — the safe lookahead of conservative parallel
+// discrete-event simulation. Within a window partitions share no state, so
+// they may execute on separate goroutines; at the window barrier,
+// cross-partition packet handoffs are drained from per-partition mailboxes in
+// partition-index order, the same merge-in-deterministic-order rule the
+// experiment harness and fleet plane use (§4d). Because window boundaries,
+// drain order and per-partition event order are all independent of how many
+// goroutines execute the windows, a partitioned run is byte-identical for
+// every domain count.
 package netsim
 
-import "container/heap"
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/liteflow-sim/liteflow/internal/obs"
+)
 
 // Time is virtual simulation time in nanoseconds.
 type Time = int64
@@ -21,53 +42,284 @@ const (
 	Second      Time = 1_000_000_000
 )
 
+// never is the sentinel "no event" time.
+const never = Time(math.MaxInt64)
+
+// ErrPastEvent reports an attempt to schedule an event before the scheduling
+// partition's current virtual time. At panics with an error wrapping it;
+// TryAt returns it, letting replay-style callers (a parked fleet member
+// catching up at a stale clock) fall back instead of crashing.
+var ErrPastEvent = errors.New("netsim: event scheduled in the past")
+
+// pastEventError decorates ErrPastEvent with the offending times. It is the
+// panic value of At and the return value of TryAt.
+func pastEventError(at, now Time, partition int) error {
+	return fmt.Errorf("%w (at=%d now=%d partition=%d)", ErrPastEvent, at, now, partition)
+}
+
+// Event kinds. Hot-path work (packet delivery, link serialization, CPU
+// completion) is expressed as a typed kind plus operands instead of a
+// closure, so steady-state scheduling allocates nothing.
+const (
+	evFunc     uint8 = iota // fn()
+	evPacketFn              // pfn(p)
+	evDeliver               // l.to.HandlePacket(p) — link propagation done
+	evTxDone                // l.txDone(p) — link serialization done
+)
+
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among same-time events
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events in one partition
+	kind uint8
+	fn   func()
+	pfn  func(*Packet)
+	l    *Link
+	p    *Packet
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+// eventQueue is a typed 4-ary min-heap ordered by (at, seq). Unlike the old
+// container/heap implementation it never boxes events through interface{},
+// so push/pop allocate only on backing-array growth.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.ev[i].before(&q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // clear pointers so the GC can reclaim operands
+	q.ev = q.ev[:n]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.ev[c].before(&q.ev[min]) {
+				min = c
+			}
+		}
+		if !q.ev[min].before(&q.ev[i]) {
+			return
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+}
+
+// handoff is one cross-partition packet delivery awaiting the window barrier.
+type handoff struct {
+	l  *Link
+	p  *Packet
+	at Time
+}
+
+// coordinator is the shared state behind every partition view of one
+// simulation: the partition list, the conservative lookahead, and the
+// window/barrier machinery.
+type coordinator struct {
+	parts       []*Engine
+	partitioned bool // built by NewParallelEngine
+	domains     int  // worker goroutines for window execution
+	lookahead   Time // min cross-partition link delay; 0 = no cross links yet
+	running     bool
+	inWindow    bool // workers may be executing partitions concurrently
+
+	// foldInto receives partition trace shards (see PartitionScope), merged
+	// in partition order at the end of every Run/RunUntil.
+	foldInto *obs.Tracer
+}
+
+// Engine is one partition's view of the simulation: a private event queue,
+// clock and FIFO sequence counter. NewEngine returns a single-partition
+// engine with the classic serial semantics; NewParallelEngine returns the
+// root view of a partitioned engine, and AddPartition mints further views.
+// Entities hold the view of the partition they live in, so At/After/Now are
+// naturally partition-local. Run/RunUntil may be called on any view and
+// drive the whole simulation.
+type Engine struct {
+	co     *coordinator
+	id     int
+	now    Time
+	seq    uint64
+	q      eventQueue
+	outbox []handoff
+	// active is true while this partition's events are executing on its
+	// worker. checkOwner reads it from other workers to diagnose ownership
+	// violations, hence atomic (the store is per window, not per event).
+	active atomic.Bool
+	tracer *obs.Tracer
+}
+
+// NewEngine returns a classic single-partition engine with time 0 and an
+// empty event queue. AddPartition on it returns the engine itself, so
+// topology builders can place entities unconditionally.
+func NewEngine() *Engine {
+	co := &coordinator{domains: 1}
+	e := &Engine{co: co}
+	co.parts = []*Engine{e}
 	return e
 }
 
-// Engine is the discrete-event scheduler. The zero value is ready to use.
-type Engine struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
+// NewParallelEngine returns the root view of a partitioned
+// conservative-lookahead engine executing windows on the given number of
+// domains (worker goroutines; values < 1 are clamped to 1). Partition count
+// and domain count are independent: partitions fix the event ordering —
+// output is byte-identical for every domain count — while domains only map
+// partitions onto workers (partition i runs on worker i mod domains).
+func NewParallelEngine(domains int) *Engine {
+	if domains < 1 {
+		domains = 1
+	}
+	co := &coordinator{partitioned: true, domains: domains}
+	e := &Engine{co: co}
+	co.parts = []*Engine{e}
+	return e
 }
 
-// NewEngine returns an engine with time 0 and an empty event queue.
-func NewEngine() *Engine { return &Engine{} }
+// AddPartition mints a new partition view on a partitioned engine. On a
+// classic engine it returns the engine itself: the single partition.
+func (e *Engine) AddPartition() *Engine {
+	co := e.co
+	if !co.partitioned {
+		return e
+	}
+	if co.running {
+		panic("netsim: AddPartition while the engine is running")
+	}
+	p := &Engine{co: co, id: len(co.parts), now: co.parts[0].now}
+	co.parts = append(co.parts, p)
+	return p
+}
 
-// Now returns the current virtual time.
+// Partition returns this view's partition index (0 for the root view).
+func (e *Engine) Partition() int { return e.id }
+
+// Partitions returns the number of partitions.
+func (e *Engine) Partitions() int { return len(e.co.parts) }
+
+// Domains returns the worker-goroutine count of a partitioned engine, and 0
+// for a classic engine.
+func (e *Engine) Domains() int {
+	if !e.co.partitioned {
+		return 0
+	}
+	return e.co.domains
+}
+
+// Lookahead returns the conservative window width: the minimum
+// cross-partition link delay, or 0 when no cross-partition link exists.
+func (e *Engine) Lookahead() Time { return e.co.lookahead }
+
+// Now returns this partition's current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics: silently reordering events would corrupt
-// causality in every experiment built on top.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic("netsim: event scheduled in the past")
+// PartitionScope returns sc with its tracer swapped for this partition's
+// private shard, minting the shard on first use. During windowed execution
+// partitions must not share a trace ring (emission order would depend on the
+// worker schedule); shards are folded back into sc's original tracer in
+// partition order at the end of every Run/RunUntil, so exports are
+// byte-identical for every domain count. On a classic engine, or when sc
+// does not trace, sc is returned unchanged.
+func (e *Engine) PartitionScope(sc obs.Scope) obs.Scope {
+	base := sc.Tracer()
+	if base == nil || !e.co.partitioned {
+		return sc
 	}
+	if e.co.foldInto == nil {
+		e.co.foldInto = base
+	} else if e.co.foldInto != base {
+		panic("netsim: PartitionScope called with two different tracers")
+	}
+	if e.tracer == nil {
+		e.tracer = obs.NewTracer(base.Cap())
+	}
+	return sc.WithTracer(e.tracer)
+}
+
+// push assigns the partition-local FIFO sequence and enqueues.
+func (e *Engine) push(ev event) {
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	e.q.push(ev)
+}
+
+// checkOwner panics when an event executing in another partition schedules
+// onto this one mid-window: that is a data race in windowed mode. (The
+// co.inWindow short-circuit keeps the e.active read on the owning worker in
+// race-free programs.)
+func (e *Engine) checkOwner() {
+	if e.co.inWindow && !e.active.Load() {
+		panic("netsim: cross-partition schedule during a window; hand off through a Link (mailbox) instead")
+	}
+}
+
+// At schedules fn to run at absolute time t in this partition. Scheduling in
+// the past is a programming error and panics (with an error wrapping
+// ErrPastEvent): silently reordering events would corrupt causality in every
+// experiment built on top. Callers that legitimately race a moving clock —
+// replaying at a possibly stale time — use TryAt.
+func (e *Engine) At(t Time, fn func()) {
+	if err := e.TryAt(t, fn); err != nil {
+		panic(err)
+	}
+}
+
+// TryAt schedules fn at absolute time t, returning an error wrapping
+// ErrPastEvent (instead of panicking) when t is before this partition's
+// clock.
+func (e *Engine) TryAt(t Time, fn func()) error {
+	if t < e.now {
+		return pastEventError(t, e.now, e.id)
+	}
+	e.checkOwner()
+	e.push(event{at: t, kind: evFunc, fn: fn})
+	return nil
+}
+
+// AtPacket schedules fn(p) at absolute time t. It is the closure-free
+// variant of At for per-packet completions (CPU work retiring a packet): the
+// packet rides in the event, so steady-state scheduling allocates nothing.
+func (e *Engine) AtPacket(t Time, fn func(*Packet), p *Packet) {
+	if t < e.now {
+		panic(pastEventError(t, e.now, e.id))
+	}
+	e.checkOwner()
+	e.push(event{at: t, kind: evPacketFn, pfn: fn, p: p})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d is clamped to
@@ -79,34 +331,204 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of scheduled events across all partitions,
+// including cross-partition handoffs awaiting a window barrier.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, p := range e.co.parts {
+		n += p.q.len() + len(p.outbox)
+	}
+	return n
+}
 
-// Step executes the earliest event. It returns false when the queue is empty.
+// exec dispatches one event.
+func (e *Engine) exec(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evPacketFn:
+		ev.pfn(ev.p)
+	case evDeliver:
+		ev.l.to.HandlePacket(ev.p)
+	case evTxDone:
+		ev.l.txDone(ev.p)
+	}
+}
+
+// Step executes the earliest event. It returns false when the queue is
+// empty. Step is a single-partition affair; on a multi-partition engine it
+// panics — windowed execution (Run/RunUntil) is the only way to interleave
+// partitions deterministically.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if len(e.co.parts) > 1 {
+		panic("netsim: Step on a multi-partition engine; use Run or RunUntil")
+	}
+	p := e.co.parts[0]
+	if p.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
-	e.now = ev.at
-	ev.fn()
+	ev := p.q.pop()
+	p.now = ev.at
+	p.exec(&ev)
 	return true
 }
 
-// RunUntil executes events until the queue is empty or the next event is
-// later than deadline. Time is advanced to the deadline if the simulation
-// outlived it, so subsequent scheduling is relative to the deadline.
-func (e *Engine) RunUntil(deadline Time) {
-	for len(e.heap) > 0 && e.heap[0].at <= deadline {
-		e.Step()
+// runTo executes this partition's events strictly before end (the exclusive
+// window bound), advancing the partition clock as it goes.
+func (e *Engine) runTo(end Time) {
+	e.active.Store(true)
+	for len(e.q.ev) > 0 && e.q.ev[0].at < end {
+		ev := e.q.pop()
+		e.now = ev.at
+		e.exec(&ev)
 	}
-	if e.now < deadline {
-		e.now = deadline
+	e.active.Store(false)
+}
+
+// RunUntil executes events until every queue is empty or the next event is
+// later than deadline. Every partition clock is advanced to the deadline if
+// the simulation outlived it, so subsequent scheduling is relative to the
+// deadline.
+func (e *Engine) RunUntil(deadline Time) { e.co.run(deadline) }
+
+// Run executes events until every queue is empty.
+func (e *Engine) Run() { e.co.run(never) }
+
+// nextTime returns the earliest pending event time across partitions.
+func (co *coordinator) nextTime() Time {
+	t := never
+	for _, p := range co.parts {
+		if len(p.q.ev) > 0 && p.q.ev[0].at < t {
+			t = p.q.ev[0].at
+		}
+	}
+	return t
+}
+
+// run is the window loop. Each iteration finds the global minimum event time
+// T, executes the window [T, T+lookahead) on every partition (concurrently
+// when domains > 1), then drains cross-partition mailboxes at the barrier.
+// Conservative correctness: any packet handed off during the window arrives
+// at ≥ T + link delay ≥ T + lookahead, i.e. strictly after the window, so no
+// partition can receive work for a time it already executed past.
+func (co *coordinator) run(deadline Time) {
+	if co.running {
+		panic("netsim: Run/RunUntil re-entered from inside an event")
+	}
+	co.running = true
+	defer func() { co.running = false }()
+
+	for {
+		t := co.nextTime()
+		if t == never || t > deadline {
+			break
+		}
+		end := never
+		if deadline < never-1 {
+			end = deadline + 1 // exclusive bound: events at == deadline run
+		}
+		if co.lookahead > 0 {
+			if we := t + co.lookahead; we > t && we < end {
+				end = we
+			}
+		}
+		co.window(end)
+		co.drain()
+	}
+
+	if deadline != never {
+		for _, p := range co.parts {
+			if p.now < deadline {
+				p.now = deadline
+			}
+		}
+	} else {
+		// Run(): align every clock at the last executed event so a
+		// subsequent schedule on any view is never "in the past".
+		var m Time
+		for _, p := range co.parts {
+			if p.now > m {
+				m = p.now
+			}
+		}
+		for _, p := range co.parts {
+			if p.now < m {
+				p.now = m
+			}
+		}
+	}
+	co.foldShards()
+}
+
+// window executes [*, end) on every partition. Partition i runs on worker
+// i mod domains; with one domain (or one partition) everything runs on the
+// calling goroutine with zero synchronization.
+func (co *coordinator) window(end Time) {
+	if co.domains <= 1 || len(co.parts) == 1 {
+		for _, p := range co.parts {
+			p.runTo(end)
+		}
+		return
+	}
+	d := co.domains
+	if d > len(co.parts) {
+		d = len(co.parts)
+	}
+	co.inWindow = true
+	var wg sync.WaitGroup
+	for w := 1; w < d; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(co.parts); i += d {
+				co.parts[i].runTo(end)
+			}
+		}(w)
+	}
+	for i := 0; i < len(co.parts); i += d {
+		co.parts[i].runTo(end)
+	}
+	wg.Wait()
+	co.inWindow = false
+}
+
+// drain moves cross-partition handoffs from source outboxes into destination
+// queues. Iteration is source-partition-index order, then send order within
+// a source; destination FIFO sequence numbers are assigned in that drain
+// order. Both orders are fixed by the partitioning alone — not by the domain
+// count or worker schedule — which is what keeps partitioned runs
+// byte-identical under any parallelism.
+func (co *coordinator) drain() {
+	for _, src := range co.parts {
+		for i := range src.outbox {
+			h := &src.outbox[i]
+			dst := h.l.rem
+			if h.at < dst.now {
+				// Lookahead violation: a cross-partition link delivered
+				// into a window the destination already executed. The link
+				// was wired without BindRemote or its delay was mutated
+				// below the registered lookahead.
+				panic(pastEventError(h.at, dst.now, dst.id))
+			}
+			dst.push(event{at: h.at, kind: evDeliver, l: h.l, p: h.p})
+			h.p = nil
+			h.l = nil
+		}
+		src.outbox = src.outbox[:0]
 	}
 }
 
-// Run executes events until the queue is empty.
-func (e *Engine) Run() {
-	for e.Step() {
+// foldShards merges partition trace shards into the base tracer in
+// partition-index order and resets the shards, so repeated Run/RunUntil
+// calls never double-count.
+func (co *coordinator) foldShards() {
+	if co.foldInto == nil {
+		return
+	}
+	for _, p := range co.parts {
+		if p.tracer != nil && p.tracer.Len() > 0 {
+			co.foldInto.Merge(p.tracer)
+			p.tracer.Reset()
+		}
 	}
 }

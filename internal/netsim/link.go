@@ -22,6 +22,7 @@ func (f HandlerFunc) HandlePacket(p *Packet) { f(p) }
 // transmitting wait in the attached Queue.
 type Link struct {
 	eng   *Engine
+	rem   *Engine // destination partition when ≠ eng's (BindRemote)
 	to    Handler
 	rate  int64 // bits per second
 	delay Time
@@ -68,6 +69,36 @@ func NewLink(eng *Engine, to Handler, rateBps int64, delay Time, q Queue, sc ...
 	return l
 }
 
+// Engine returns the partition view owning this link (serialization and
+// propagation are timed on it). Experiments use it to place measurement
+// ticks in the partition that owns the sampled state.
+func (l *Link) Engine() *Engine { return l.eng }
+
+// BindRemote declares that the link's receiving end lives in dst's
+// partition: deliveries are routed through the cross-partition mailbox and
+// the link's propagation delay joins the conservative-lookahead minimum. On
+// a classic engine, or when dst is the link's own partition, it is a no-op —
+// topology builders call it unconditionally. A cross-partition link must
+// have positive delay: zero-delay handoff would give the window loop zero
+// lookahead and stall it. BindRemote returns l for wiring convenience.
+func (l *Link) BindRemote(dst *Engine) *Link {
+	if dst == nil || dst == l.eng || !l.eng.co.partitioned {
+		return l
+	}
+	if dst.co != l.eng.co {
+		panic("netsim: BindRemote across unrelated engines")
+	}
+	if l.delay <= 0 {
+		panic("netsim: cross-partition link must have positive delay (conservative lookahead)")
+	}
+	l.rem = dst
+	co := l.eng.co
+	if co.lookahead == 0 || l.delay < co.lookahead {
+		co.lookahead = l.delay
+	}
+	return l
+}
+
 // Rate returns the link rate in bits per second.
 func (l *Link) Rate() int64 { return l.rate }
 
@@ -103,14 +134,18 @@ func (l *Link) TxTime(size int) Time {
 	return Time(int64(size) * 8 * int64(Second) / l.rate)
 }
 
-// Send enqueues p for transmission, dropping it if the queue is full.
+// Send enqueues p for transmission, dropping it if the queue is full. Send
+// must be called from the link's own partition (entities hand packets across
+// partitions only by being the target of a link).
 func (l *Link) Send(p *Packet) {
+	l.eng.checkOwner()
 	p.EnqAt = l.eng.Now()
 	ceBefore := p.CE
 	if !l.queue.Enqueue(p) {
 		l.drops.Inc()
 		l.sc.Event2("net", "drop", p.EnqAt, "flow", int64(p.Flow), "bytes", int64(p.Size))
-		return // dropped
+		FreePacket(p) // dropped
+		return
 	}
 	if p.CE && !ceBefore {
 		l.marks.Inc()
@@ -121,6 +156,8 @@ func (l *Link) Send(p *Packet) {
 	}
 }
 
+// startNext begins serializing the head-of-queue packet. Serialization
+// completion is a typed evTxDone event (no closure, no allocation).
 func (l *Link) startNext() {
 	p := l.queue.Dequeue()
 	if p == nil {
@@ -128,14 +165,24 @@ func (l *Link) startNext() {
 		return
 	}
 	l.busy = true
-	tx := l.TxTime(p.Size)
-	l.eng.After(tx, func() {
-		l.txPackets++
-		l.txBytes += int64(p.Size)
-		// Propagation happens in parallel with the next serialization.
-		l.eng.After(l.delay, func() { l.to.HandlePacket(p) })
-		l.startNext()
-	})
+	l.eng.push(event{at: l.eng.now + l.TxTime(p.Size), kind: evTxDone, l: l, p: p})
+}
+
+// txDone retires one serialization: account the transmit, launch propagation
+// (in parallel with the next serialization) and start the next packet.
+// Local deliveries are typed evDeliver events; cross-partition deliveries go
+// to the outbox, drained into the destination partition at the next window
+// barrier.
+func (l *Link) txDone(p *Packet) {
+	l.txPackets++
+	l.txBytes += int64(p.Size)
+	at := l.eng.now + l.delay
+	if l.rem != nil {
+		l.eng.outbox = append(l.eng.outbox, handoff{l: l, p: p, at: at})
+	} else {
+		l.eng.push(event{at: at, kind: evDeliver, l: l, p: p})
+	}
+	l.startNext()
 }
 
 // Pipe is a bidirectional connection built from two independent links. It is

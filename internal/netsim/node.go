@@ -101,6 +101,7 @@ func (s *Switch) HandlePacket(p *Packet) {
 	}
 	if len(group) == 0 {
 		s.unrouted++
+		FreePacket(p)
 		return
 	}
 	l := group[0]
@@ -119,10 +120,11 @@ type Sink struct {
 	Bytes   int64
 }
 
-// HandlePacket counts p and drops it.
+// HandlePacket counts p, recycles it into the packet pool, and drops it.
 func (s *Sink) HandlePacket(p *Packet) {
 	s.Packets++
 	s.Bytes += int64(p.Size)
+	FreePacket(p)
 }
 
 var _ Handler = (*Sink)(nil)

@@ -33,6 +33,9 @@ type Packet struct {
 
 	SentAt Time // transmission start time at the original sender
 	EnqAt  Time // last enqueue time (for per-hop queueing delay accounting)
+
+	// freed guards the pool (AllocPacket/FreePacket) against double-free.
+	freed bool
 }
 
 // HeaderBytes is the fixed per-packet header overhead (Ethernet + IP + TCP,

@@ -1,0 +1,516 @@
+package netsim
+
+import (
+	"bytes"
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// Typed event queue vs container/heap oracle
+// ---------------------------------------------------------------------------
+
+// oracleItem mirrors event ordering: (at, seq) with FIFO tie-break.
+type oracleItem struct {
+	at  Time
+	seq uint64
+}
+
+type oracleHeap []oracleItem
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x interface{}) { *h = append(*h, x.(oracleItem)) }
+func (h *oracleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// FuzzEventQueue drives the typed 4-ary queue and a container/heap oracle
+// with the same interleaved push/pop sequence and requires identical pop
+// order — including the FIFO tie-break among same-time events.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 4, 0, 0, 5, 5, 5, 0, 0, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q eventQueue
+		var o oracleHeap
+		var seq uint64
+		for _, b := range data {
+			if b == 0 && q.len() > 0 {
+				got := q.pop()
+				want := heap.Pop(&o).(oracleItem)
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("pop order diverged: got (at=%d seq=%d), oracle (at=%d seq=%d)",
+						got.at, got.seq, want.at, want.seq)
+				}
+				continue
+			}
+			seq++
+			at := Time(b % 16) // coarse times force plenty of ties
+			q.push(event{at: at, seq: seq})
+			heap.Push(&o, oracleItem{at: at, seq: seq})
+		}
+		for q.len() > 0 {
+			got := q.pop()
+			want := heap.Pop(&o).(oracleItem)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("drain order diverged: got (at=%d seq=%d), oracle (at=%d seq=%d)",
+					got.at, got.seq, want.at, want.seq)
+			}
+		}
+		if o.Len() != 0 {
+			t.Fatalf("oracle retains %d items after queue drained", o.Len())
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Typed past-event errors
+// ---------------------------------------------------------------------------
+
+func TestTryAtReturnsErrPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	err := e.TryAt(50, func() {})
+	if !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("TryAt in the past: err = %v, want errors.Is(_, ErrPastEvent)", err)
+	}
+	if err := e.TryAt(100, func() {}); err != nil {
+		t.Fatalf("TryAt at the current time must succeed, got %v", err)
+	}
+}
+
+func TestAtPanicsWithErrPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrPastEvent) {
+			t.Fatalf("At in the past: panic = %v, want error wrapping ErrPastEvent", r)
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestAtPacketPanicsWithErrPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrPastEvent) {
+			t.Fatalf("AtPacket in the past: panic = %v, want error wrapping ErrPastEvent", r)
+		}
+	}()
+	e.AtPacket(50, func(*Packet) {}, &Packet{})
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned engine mechanics
+// ---------------------------------------------------------------------------
+
+func TestStepPanicsOnMultiPartitionEngine(t *testing.T) {
+	e := NewParallelEngine(2)
+	e.AddPartition()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step on a multi-partition engine must panic")
+		}
+	}()
+	e.Step()
+}
+
+func TestAddPartitionOnClassicEngineReturnsSelf(t *testing.T) {
+	e := NewEngine()
+	if p := e.AddPartition(); p != e {
+		t.Fatal("classic AddPartition must return the engine itself")
+	}
+	if e.Domains() != 0 {
+		t.Fatalf("classic Domains() = %d, want 0", e.Domains())
+	}
+}
+
+func TestBindRemoteZeroDelayPanics(t *testing.T) {
+	e := NewParallelEngine(2)
+	p1 := e.AddPartition()
+	l := NewLink(e, &Sink{}, 1e9, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BindRemote with zero delay must panic (no conservative lookahead)")
+		}
+	}()
+	l.BindRemote(p1)
+}
+
+func TestBindRemoteForeignEnginePanics(t *testing.T) {
+	e := NewParallelEngine(2)
+	other := NewParallelEngine(2)
+	l := NewLink(e, &Sink{}, 1e9, Millisecond, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BindRemote across unrelated engines must panic")
+		}
+	}()
+	l.BindRemote(other)
+}
+
+func TestCrossPartitionSchedulePanicsMidWindow(t *testing.T) {
+	e := NewParallelEngine(2)
+	p1 := e.AddPartition()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling onto another partition mid-window must panic")
+		}
+	}()
+	// The offending event sits in partition 0, which windowed execution runs
+	// on the calling goroutine — so the ownership panic is recoverable here.
+	e.At(10, func() { p1.At(20, func() {}) })
+	e.RunUntil(100)
+}
+
+// ringLog is one partition's private arrival record; partitions never share
+// a log, so windowed execution stays race-free.
+type ringLog struct {
+	arrivals []string
+}
+
+// buildRing wires partitions 0..n-1 in a ring of cross-partition links. Each
+// arrival is recorded with virtual time and forwarded after a local delay.
+// It returns the per-partition logs and the engine.
+func buildRing(domains, parts, hops int) (*Engine, []*ringLog) {
+	root := NewParallelEngine(domains)
+	engs := []*Engine{root}
+	for i := 1; i < parts; i++ {
+		engs = append(engs, root.AddPartition())
+	}
+	logs := make([]*ringLog, parts)
+	links := make([]*Link, parts)
+	for i := range logs {
+		logs[i] = &ringLog{}
+	}
+	for i := 0; i < parts; i++ {
+		next := (i + 1) % parts
+		links[i] = NewLink(engs[i], nil, 1e9, Time(50+10*i)*Microsecond, NewDropTail(1<<20)).BindRemote(engs[next])
+	}
+	for i := 0; i < parts; i++ {
+		i := i
+		prev := (i + parts - 1) % parts
+		links[prev].SetTarget(HandlerFunc(func(p *Packet) {
+			logs[i].arrivals = append(logs[i].arrivals,
+				fmt.Sprintf("p%d t=%d flow=%d size=%d", i, engs[i].Now(), p.Flow, p.Size))
+			if p.Hop < 1000 { // bound total work
+				p.Hop++
+				links[i].Send(p)
+			} else {
+				FreePacket(p)
+			}
+		}))
+	}
+	// Seed traffic: several packets injected at distinct partitions/times.
+	for i := 0; i < hops; i++ {
+		src := i % parts
+		at := Time(i) * 100 * Microsecond
+		flow := FlowID(i)
+		size := 200 + 100*i
+		engs[src].At(at, func() {
+			p := AllocPacket()
+			p.Flow, p.Size = flow, size
+			links[src].Send(p)
+		})
+	}
+	return root, logs
+}
+
+// TestParallelRingByteIdenticalAcrossDomains runs the same ring with 1, 2, 4
+// and 8 domains and demands identical per-partition arrival logs: the worker
+// count must be invisible in results.
+func TestParallelRingByteIdenticalAcrossDomains(t *testing.T) {
+	const parts, hops = 5, 12
+	var want []string
+	for _, domains := range []int{1, 2, 4, 8} {
+		eng, logs := buildRing(domains, parts, hops)
+		eng.RunUntil(200 * Millisecond)
+		var got []string
+		for _, lg := range logs {
+			got = append(got, lg.arrivals...)
+		}
+		if want == nil {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("ring produced no arrivals")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("domains=%d: %d arrivals, want %d", domains, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("domains=%d: arrival %d = %q, want %q", domains, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPartitionScopeTracesByteIdenticalAcrossDomains drives drops through
+// partition-scoped links and requires the folded trace export to be
+// byte-identical for every domain count.
+func TestPartitionScopeTracesByteIdenticalAcrossDomains(t *testing.T) {
+	run := func(domains int) []byte {
+		tr := obs.NewTracer(4096)
+		sc := obs.New(nil, tr)
+		root := NewParallelEngine(domains)
+		p1 := root.AddPartition()
+		p2 := root.AddPartition()
+		// Tiny queues force drops, which emit trace events in each source
+		// partition concurrently. Each link drains into its destination
+		// partition's own sink (a sink is partition-local state).
+		l1 := NewLink(p1, &Sink{}, 1e6, Millisecond, NewDropTail(600), p1.PartitionScope(sc)).BindRemote(p2)
+		l2 := NewLink(p2, &Sink{}, 1e6, Millisecond, NewDropTail(600), p2.PartitionScope(sc)).BindRemote(p1)
+		for i := 0; i < 50; i++ {
+			at := Time(i) * 10 * Microsecond
+			p1.At(at, func() {
+				p := AllocPacket()
+				p.Size = 500
+				l1.Send(p)
+			})
+			p2.At(at, func() {
+				p := AllocPacket()
+				p.Size = 500
+				l2.Send(p)
+			})
+		}
+		root.RunUntil(Second)
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			t.Fatal("expected drop events in the folded tracer")
+		}
+		return buf.Bytes()
+	}
+	want := run(1)
+	for _, domains := range []int{2, 4} {
+		if got := run(domains); !bytes.Equal(got, want) {
+			t.Fatalf("domains=%d: trace export differs from domains=1", domains)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cross-domain packet conservation under randomized topologies and faults
+// ---------------------------------------------------------------------------
+
+// starRun is one deterministic star-topology run: nSrc source partitions
+// inject precomputed traffic through a central switch partition toward nDst
+// sink partitions, with precomputed mid-run rate faults on the delivery
+// links. It returns (injected, delivered, dropped) plus a canonical
+// description of all counters.
+func starRun(t *testing.T, domains int, seed int64) (int64, int64, int64, string) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	nSrc := 2 + r.Intn(3)
+	nDst := 2 + r.Intn(3)
+	nPkts := 50 + r.Intn(200)
+
+	// Precompute every random value before the engine starts: event
+	// callbacks must not consume shared randomness during parallel windows.
+	type injection struct {
+		src, dst, size int
+		at             Time
+	}
+	injections := make([]injection, nPkts)
+	for i := range injections {
+		injections[i] = injection{
+			src:  r.Intn(nSrc),
+			dst:  r.Intn(nDst),
+			size: 100 + r.Intn(1400),
+			at:   Time(r.Intn(5000)) * Microsecond,
+		}
+	}
+	type fault struct {
+		dst  int
+		at   Time
+		rate int64
+	}
+	faults := make([]fault, 1+r.Intn(4))
+	for i := range faults {
+		faults[i] = fault{
+			dst:  r.Intn(nDst),
+			at:   Time(1000+r.Intn(3000)) * Microsecond,
+			rate: int64(1e5 + r.Intn(1e6)),
+		}
+	}
+	queueCap := 2000 + r.Intn(4000) // tiny: force drops
+
+	root := NewParallelEngine(domains)
+	swEng := root.AddPartition()
+	sw := NewSwitch(500)
+	srcEng := make([]*Engine, nSrc)
+	upLinks := make([]*Link, nSrc)
+	upQs := make([]*DropTail, nSrc)
+	for i := 0; i < nSrc; i++ {
+		srcEng[i] = root.AddPartition()
+		upQs[i] = NewDropTail(queueCap)
+		upLinks[i] = NewLink(srcEng[i], sw, 1e8, 100*Microsecond, upQs[i]).BindRemote(swEng)
+	}
+	sinks := make([]*Sink, nDst)
+	downLinks := make([]*Link, nDst)
+	downQs := make([]*DropTail, nDst)
+	for j := 0; j < nDst; j++ {
+		dstEng := root.AddPartition()
+		sinks[j] = &Sink{}
+		downQs[j] = NewDropTail(queueCap)
+		downLinks[j] = NewLink(swEng, sinks[j], 1e7, 100*Microsecond, downQs[j]).BindRemote(dstEng)
+		sw.AddPort(600+j, downLinks[j])
+		sw.AddRoute(600+j, 600+j)
+	}
+
+	injected := make([]int64, nSrc)
+	for _, in := range injections {
+		in := in
+		srcEng[in.src].At(in.at, func() {
+			p := AllocPacket()
+			p.Dst = 600 + in.dst
+			p.Flow = FlowID(in.src)
+			p.Size = in.size
+			upLinks[in.src].Send(p)
+			injected[in.src]++
+		})
+	}
+	// Rate faults execute in the switch partition, which owns the delivery
+	// links.
+	for _, f := range faults {
+		f := f
+		swEng.At(f.at, func() { downLinks[f.dst].SetRate(f.rate) })
+	}
+
+	root.Run()
+
+	var tot, delivered, dropped int64
+	for _, n := range injected {
+		tot += n
+	}
+	for _, s := range sinks {
+		delivered += s.Packets
+	}
+	for _, q := range upQs {
+		dropped += int64(q.Drops())
+	}
+	for _, q := range downQs {
+		dropped += int64(q.Drops())
+	}
+	desc := fmt.Sprintf("injected=%v delivered=%d dropped=%d", injected, delivered, dropped)
+	for j, s := range sinks {
+		desc += fmt.Sprintf(" sink%d=%d/%dB", j, s.Packets, s.Bytes)
+	}
+	return tot, delivered, dropped, desc
+}
+
+// TestCrossDomainPacketConservation checks, for randomized star topologies
+// with injected rate faults, that (a) every injected packet is delivered or
+// dropped once the engine drains and (b) all counters are identical for
+// every domain count.
+func TestCrossDomainPacketConservation(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		var want string
+		for _, domains := range []int{1, 2, 4} {
+			injected, delivered, dropped, desc := starRun(t, domains, seed)
+			if injected != delivered+dropped {
+				t.Fatalf("seed=%d domains=%d: conservation violated: %s (injected=%d, accounted=%d)",
+					seed, domains, desc, injected, delivered+dropped)
+			}
+			if want == "" {
+				want = desc
+			} else if desc != want {
+				t.Fatalf("seed=%d domains=%d: counters differ:\n got %s\nwant %s", seed, domains, desc, want)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation guards for the event loop
+// ---------------------------------------------------------------------------
+
+// TestEngineSteadyStateZeroAllocs pins the zero-allocation contract of the
+// windowless hot path: a self-rescheduling timer plus a pooled packet ping
+// over a link must not touch the heap once queues and pools are warm.
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; guard runs in the plain job")
+	}
+	e := NewEngine()
+	sink := HandlerFunc(func(p *Packet) { FreePacket(p) })
+	l := NewLink(e, sink, 1e9, 10*Microsecond, NewDropTail(1<<20))
+	var tick func()
+	tick = func() {
+		p := AllocPacket()
+		p.Size = 1000
+		l.Send(p)
+		e.After(100*Microsecond, tick)
+	}
+	e.After(0, tick)
+	e.RunUntil(10 * Millisecond) // warm: pool populated, heap array sized
+	deadline := e.Now()
+	allocs := testing.AllocsPerRun(100, func() {
+		deadline += Millisecond
+		e.RunUntil(deadline)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state event loop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineStep measures the raw schedule+dispatch cost of the typed
+// queue (the replacement for the boxing container/heap path).
+func BenchmarkEngineStep(b *testing.B) {
+	e := NewEngine()
+	var fn func()
+	fn = func() { e.After(10, fn) }
+	e.After(0, fn)
+	e.Step() // prime: one event always pending
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkParallelWindowLoop measures windowed execution overhead on the
+// ring topology (cross-partition handoffs every window).
+func BenchmarkParallelWindowLoop(b *testing.B) {
+	for _, domains := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("domains=%d", domains), func(b *testing.B) {
+			eng, _ := buildRing(domains, 5, 12)
+			b.ReportAllocs()
+			b.ResetTimer()
+			deadline := Time(0)
+			for i := 0; i < b.N; i++ {
+				deadline += Millisecond
+				eng.RunUntil(deadline)
+			}
+		})
+	}
+}

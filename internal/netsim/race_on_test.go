@@ -1,0 +1,9 @@
+//go:build race
+
+package netsim
+
+// raceEnabled reports whether the race detector is active. The detector's
+// shadow-memory instrumentation adds heap allocations to the event loop, so
+// the zero-alloc guards skip themselves under -race (they still run in the
+// plain test job).
+const raceEnabled = true

@@ -62,6 +62,17 @@ func (s Scope) With(labels ...Label) Scope {
 	return Scope{reg: s.reg, tracer: s.tracer, labels: merged, tid: s.tid}
 }
 
+// WithTracer returns a scope emitting trace events to tr instead of the
+// current tracer, keeping the registry, labels and tid. The partitioned
+// simulation engine uses it to route each partition's events into a private
+// shard (netsim.Engine.PartitionScope); tr is not bound to the
+// trace-eviction counter — the fold into the base tracer carries shard
+// evictions.
+func (s Scope) WithTracer(tr *Tracer) Scope {
+	s.tracer = tr
+	return s
+}
+
 // WithTid returns a scope whose trace events carry the given thread-track ID
 // (Chrome trace "tid"). Fleet provisioning sets member index + 1 so each
 // member's events render on its own track; tid 0 is the shared/controller

@@ -23,6 +23,11 @@ type Host struct {
 	senders   map[netsim.FlowID]*Sender
 	receivers map[netsim.FlowID]*Receiver
 
+	// sendFn/dispatchFn are the CPU-completion callbacks, bound once so
+	// per-packet submission allocates no method-value closure.
+	sendFn     func(*netsim.Packet)
+	dispatchFn func(*netsim.Packet)
+
 	// RxDropped counts packets rejected by the saturated CPU.
 	RxDropped int64
 	TxDropped int64
@@ -31,12 +36,15 @@ type Host struct {
 // NewHost returns a host with the given node ID. Attach an egress link with
 // SetEgress and optionally a CPU with AttachCPU before starting flows.
 func NewHost(eng *netsim.Engine, id int) *Host {
-	return &Host{
+	h := &Host{
 		ID:        id,
 		Eng:       eng,
 		senders:   make(map[netsim.FlowID]*Sender),
 		receivers: make(map[netsim.FlowID]*Receiver),
 	}
+	h.sendFn = h.egressSend
+	h.dispatchFn = h.dispatch
+	return h
 }
 
 // SetEgress sets the host's link into the network.
@@ -51,8 +59,11 @@ func (h *Host) AttachCPU(cpu *ksim.CPU, costs ksim.Costs) {
 	h.Costs = costs
 }
 
+// egressSend is the TX CPU-completion callback.
+func (h *Host) egressSend(p *netsim.Packet) { h.egress.Send(p) }
+
 // Transmit pushes a packet into the network, paying TX CPU cost when a CPU
-// is attached. Overloaded CPUs drop the transmission.
+// is attached. Overloaded CPUs drop (and recycle) the transmission.
 func (h *Host) Transmit(p *netsim.Packet) {
 	if h.egress == nil {
 		panic("tcp: host has no egress link")
@@ -61,8 +72,9 @@ func (h *Host) Transmit(p *netsim.Packet) {
 		h.egress.Send(p)
 		return
 	}
-	if !h.CPU.Submit(ksim.Kernel, h.Costs.PacketTx, func() { h.egress.Send(p) }) {
+	if !h.CPU.SubmitPacket(ksim.Kernel, h.Costs.PacketTx, h.sendFn, p) {
 		h.TxDropped++
+		netsim.FreePacket(p)
 	}
 }
 
@@ -73,8 +85,9 @@ func (h *Host) HandlePacket(p *netsim.Packet) {
 		h.dispatch(p)
 		return
 	}
-	if !h.CPU.Submit(ksim.SoftIRQ, h.Costs.PacketRx, func() { h.dispatch(p) }) {
+	if !h.CPU.SubmitPacket(ksim.SoftIRQ, h.Costs.PacketRx, h.dispatchFn, p) {
 		h.RxDropped++
+		netsim.FreePacket(p)
 		return
 	}
 	// Sys-side protocol work for the accepted packet (dropped packets never
@@ -82,16 +95,18 @@ func (h *Host) HandlePacket(p *netsim.Packet) {
 	h.CPU.Charge(ksim.Kernel, h.Costs.PacketRxSys)
 }
 
+// dispatch demultiplexes p to its endpoint and recycles it once the handler
+// returns: the host terminally consumes every arriving packet (endpoints
+// respond with freshly allocated packets, never by re-sending p).
 func (h *Host) dispatch(p *netsim.Packet) {
 	if p.Ack {
 		if s, ok := h.senders[p.Flow]; ok {
 			s.handleAck(p)
 		}
-		return
-	}
-	if r, ok := h.receivers[p.Flow]; ok {
+	} else if r, ok := h.receivers[p.Flow]; ok {
 		r.handleData(p)
 	}
+	netsim.FreePacket(p)
 }
 
 var _ netsim.Handler = (*Host)(nil)
@@ -112,11 +127,16 @@ type UDPSource struct {
 	PktSize int
 
 	running bool
+	tickFn  func()
+	sendFn  func()
 }
 
 // NewUDPSource returns a CBR source sending from h to dst at bps.
 func NewUDPSource(h *Host, flow netsim.FlowID, dst int, bps int64) *UDPSource {
-	return &UDPSource{Host: h, Flow: flow, Dst: dst, Bps: bps, PktSize: netsim.HeaderBytes + netsim.MSS}
+	u := &UDPSource{Host: h, Flow: flow, Dst: dst, Bps: bps, PktSize: netsim.HeaderBytes + netsim.MSS}
+	u.tickFn = u.tick
+	u.sendFn = u.sendOne
+	return u
 }
 
 // Start begins transmission; SetRate adjusts the rate live (used by the
@@ -140,23 +160,29 @@ func (u *UDPSource) tick() {
 		return
 	}
 	if u.Bps <= 0 {
-		u.Host.Eng.After(netsim.Millisecond, u.tick)
+		u.Host.Eng.After(netsim.Millisecond, u.tickFn)
 		return
 	}
 	interval := netsim.Time(int64(u.PktSize) * 8 * int64(netsim.Second) / u.Bps)
 	if interval < 1 {
 		interval = 1
 	}
-	u.Host.Eng.After(interval, func() {
-		if !u.running {
-			return
-		}
-		u.Host.Transmit(&netsim.Packet{
-			Flow: u.Flow, Src: u.Host.ID, Dst: u.Dst,
-			Size: u.PktSize, SentAt: u.Host.Eng.Now(),
-		})
-		u.tick()
-	})
+	u.Host.Eng.After(interval, u.sendFn)
+}
+
+// sendOne transmits one CBR packet and schedules the next. The callbacks are
+// bound once at construction, so the steady sending loop allocates only the
+// pooled packet it sends.
+func (u *UDPSource) sendOne() {
+	if !u.running {
+		return
+	}
+	p := netsim.AllocPacket()
+	p.Flow, p.Src, p.Dst = u.Flow, u.Host.ID, u.Dst
+	p.Size = u.PktSize
+	p.SentAt = u.Host.Eng.Now()
+	u.Host.Transmit(p)
+	u.tick()
 }
 
 // BurstyUDP drives a UDPSource between two rates on a fixed half-period —

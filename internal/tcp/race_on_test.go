@@ -1,0 +1,7 @@
+//go:build race
+
+package tcp
+
+// raceEnabled mirrors netsim's guard: the race detector's instrumentation
+// allocates on the event loop, so zero-alloc assertions skip under -race.
+const raceEnabled = true

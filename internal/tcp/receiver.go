@@ -6,6 +6,14 @@ import (
 
 // Receiver terminates a flow: it deduplicates segments, acknowledges each
 // one selectively (echoing ECN marks DCTCP-style), and accounts goodput.
+//
+// Dedup state is a contiguous prefix plus a map of out-of-order islands
+// rather than a grow-forever seen-set: everything below nextContig has been
+// received, and pending holds only the segments ahead of the contiguous
+// prefix (keyed by start seq, valued by end seq). Entries are deleted as the
+// prefix advances over them, so steady in-order traffic keeps the map empty
+// and the hot path allocation-free, with memory bounded by the reorder
+// window instead of the flow length.
 type Receiver struct {
 	Host *Host
 	Flow netsim.FlowID
@@ -19,7 +27,8 @@ type Receiver struct {
 	// cache uses it to drop per-flow state (paper §3.4).
 	OnFIN func(flow netsim.FlowID)
 
-	seen        map[int64]bool
+	nextContig  int64           // every byte below this seq has arrived
+	pending     map[int64]int64 // out-of-order island: start seq → end seq
 	uniqueBytes int64
 	finSeen     bool
 
@@ -30,7 +39,7 @@ type Receiver struct {
 // NewReceiver creates a receiver for flow on host h, ACKing towards src, and
 // registers it with the host's demux table.
 func NewReceiver(h *Host, flow netsim.FlowID, src int) *Receiver {
-	r := &Receiver{Host: h, Flow: flow, Src: src, seen: make(map[int64]bool)}
+	r := &Receiver{Host: h, Flow: flow, Src: src, pending: make(map[int64]int64)}
 	h.RegisterReceiver(r)
 	return r
 }
@@ -41,8 +50,23 @@ func (r *Receiver) UniqueBytes() int64 { return r.uniqueBytes }
 // handleData processes one data segment: dedup, account, ACK.
 func (r *Receiver) handleData(p *netsim.Packet) {
 	payload := p.PayloadBytes()
-	if !r.seen[p.Seq] {
-		r.seen[p.Seq] = true
+	dup := p.Seq < r.nextContig
+	if !dup {
+		_, dup = r.pending[p.Seq]
+	}
+	if !dup {
+		if p.Seq == r.nextContig {
+			r.nextContig += int64(payload)
+			// Absorb any islands the prefix now reaches. Zero-length
+			// islands are never stored (see below), so each lookup that
+			// hits strictly advances nextContig and the loop terminates.
+			for end, ok := r.pending[r.nextContig]; ok; end, ok = r.pending[r.nextContig] {
+				delete(r.pending, r.nextContig)
+				r.nextContig = end
+			}
+		} else if payload > 0 {
+			r.pending[p.Seq] = p.Seq + int64(payload)
+		}
 		r.uniqueBytes += int64(payload)
 		if r.OnDeliver != nil {
 			r.OnDeliver(payload, r.Host.Eng.Now())
@@ -57,9 +81,10 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 		r.DupAcks++
 	}
 	// Selective ACK for this segment; echo congestion marks.
-	r.Host.Transmit(&netsim.Packet{
-		Flow: r.Flow, Src: r.Host.ID, Dst: r.Src,
-		Ack: true, AckNo: p.Seq, ECE: p.CE,
-		Size: netsim.AckSize, SentAt: r.Host.Eng.Now(),
-	})
+	ack := netsim.AllocPacket()
+	ack.Flow, ack.Src, ack.Dst = r.Flow, r.Host.ID, r.Src
+	ack.Ack, ack.AckNo, ack.ECE = true, p.Seq, p.CE
+	ack.Size = netsim.AckSize
+	ack.SentAt = r.Host.Eng.Now()
+	r.Host.Transmit(ack)
 }

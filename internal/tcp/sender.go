@@ -5,6 +5,8 @@ import (
 )
 
 // segment is one outstanding MSS-sized unit of the flow's byte stream.
+// Segments are recycled through the sender's freelist once every reference
+// (ordered outstanding list, retransmission queue) has released them.
 type segment struct {
 	seq    int64
 	size   int // payload bytes
@@ -13,12 +15,16 @@ type segment struct {
 	acked  bool
 	lost   bool // marked lost, awaiting retransmission
 	fin    bool
+	inOut  bool // referenced by s.outstanding
+	inRtx  bool // referenced by s.rtxQueue
 }
 
 // Sender transmits a flow with pacing, a congestion window, selective-repeat
 // retransmission (per-segment ACKs, dup-threshold and RTO loss detection),
 // and SRTT/delivery-rate estimation. It is driven entirely by simulator
-// events.
+// events. The steady-state send/ACK loop is allocation-free: packets come
+// from the netsim pool, segments from a per-sender freelist, and the pacing
+// and RTO callbacks are bound once at construction.
 type Sender struct {
 	Host *Host
 	Flow netsim.FlowID
@@ -51,9 +57,11 @@ type Sender struct {
 	completed bool
 
 	nextSeq     int64
-	outstanding []*segment // ordered by seq; acked entries pruned lazily
+	outstanding []*segment // ordered by seq; live region starts at outHead
+	outHead     int
 	bySeq       map[int64]*segment
 	rtxQueue    []*segment
+	segFree     []*segment
 	inflight    int
 	ackedBytes  int64
 	highestAck  int64 // highest segment seq acknowledged
@@ -61,8 +69,16 @@ type Sender struct {
 	srtt   netsim.Time
 	rttvar netsim.Time
 	pacing bool
-	rtoSeq int // invalidates stale RTO timers
-	rtoArm bool
+
+	// The RTO is deadline-based: at most one timer event is outstanding;
+	// each ACK only moves rtoDeadline forward, and a timer that fires early
+	// re-arms itself for the remainder — no per-ACK closure allocation.
+	rtoDeadline netsim.Time
+	rtoPending  bool // a fire event is scheduled in the engine
+	rtoArm      bool
+
+	sendLoopFn func()
+	rtoFireFn  func()
 
 	// Delivery-rate estimation window.
 	rateWinStart netsim.Time
@@ -83,6 +99,8 @@ func NewSender(h *Host, flow netsim.FlowID, dst int, size int64, cc CongestionCo
 		MinRTO:    200 * netsim.Millisecond,
 		bySeq:     make(map[int64]*segment),
 	}
+	s.sendLoopFn = s.sendLoop
+	s.rtoFireFn = s.fireRTO
 	h.registerSender(s)
 	return s
 }
@@ -115,6 +133,23 @@ func (s *Sender) Inflight() int { return s.inflight }
 // remaining reports whether new (never-sent) data exists.
 func (s *Sender) remaining() bool {
 	return s.Size == 0 || s.nextSeq < s.Size
+}
+
+// allocSegment takes a zeroed segment from the freelist (or the heap).
+func (s *Sender) allocSegment() *segment {
+	if n := len(s.segFree); n > 0 {
+		seg := s.segFree[n-1]
+		s.segFree[n-1] = nil
+		s.segFree = s.segFree[:n-1]
+		*seg = segment{}
+		return seg
+	}
+	return &segment{}
+}
+
+// freeSegment recycles a segment no longer referenced anywhere.
+func (s *Sender) freeSegment(seg *segment) {
+	s.segFree = append(s.segFree, seg)
 }
 
 // maybeSend kicks the pacing loop if it is idle and work is available.
@@ -154,16 +189,22 @@ func (s *Sender) sendLoop() {
 	}
 	wire := int64(seg.size+netsim.HeaderBytes) * 8
 	gap := netsim.Time(wire * int64(netsim.Second) / rate)
-	s.Host.Eng.After(gap, s.sendLoop)
+	s.Host.Eng.After(gap, s.sendLoopFn)
 }
 
 // pickSegment returns the next segment to transmit: retransmissions first.
 func (s *Sender) pickSegment() *segment {
-	if len(s.rtxQueue) > 0 {
+	for len(s.rtxQueue) > 0 {
 		seg := s.rtxQueue[0]
 		s.rtxQueue = s.rtxQueue[1:]
+		seg.inRtx = false
 		if seg.acked {
-			return s.pickSegment()
+			// Acked while waiting for retransmission; recycle if the
+			// outstanding list has also released it.
+			if !seg.inOut {
+				s.freeSegment(seg)
+			}
+			continue
 		}
 		seg.rtx++
 		s.Retransmits++
@@ -176,11 +217,13 @@ func (s *Sender) pickSegment() *segment {
 	if s.Size > 0 && s.Size-s.nextSeq < int64(size) {
 		size = int(s.Size - s.nextSeq)
 	}
-	seg := &segment{seq: s.nextSeq, size: size}
+	seg := s.allocSegment()
+	seg.seq, seg.size = s.nextSeq, size
 	if s.Size > 0 && s.nextSeq+int64(size) >= s.Size {
 		seg.fin = true
 	}
 	s.nextSeq += int64(size)
+	seg.inOut = true
 	s.outstanding = append(s.outstanding, seg)
 	s.bySeq[seg.seq] = seg
 	return seg
@@ -191,12 +234,14 @@ func (s *Sender) transmit(seg *segment) {
 	seg.sentAt = now
 	seg.lost = false
 	s.inflight += seg.size
-	s.Host.Transmit(&netsim.Packet{
-		Flow: s.Flow, Src: s.Host.ID, Dst: s.Dst,
-		Seq: seg.seq, Size: seg.size + netsim.HeaderBytes,
-		FIN: seg.fin, SentAt: now,
-		Prio: s.Prio, Path: s.Path,
-	})
+	p := netsim.AllocPacket()
+	p.Flow, p.Src, p.Dst = s.Flow, s.Host.ID, s.Dst
+	p.Seq, p.Size = seg.seq, seg.size+netsim.HeaderBytes
+	p.FIN = seg.fin
+	p.SentAt = now
+	p.Prio = s.Prio
+	p.Path = s.Path
+	s.Host.Transmit(p)
 }
 
 // handleAck processes a selective acknowledgment for one segment.
@@ -274,7 +319,7 @@ func (s *Sender) handleAck(p *netsim.Packet) {
 func (s *Sender) detectLoss(acked *segment) {
 	threshold := s.highestAck - int64(s.DupThresh*netsim.MSS)
 	lost := 0
-	for _, seg := range s.outstanding {
+	for _, seg := range s.outstanding[s.outHead:] {
 		if seg.acked || seg.lost {
 			continue
 		}
@@ -282,6 +327,7 @@ func (s *Sender) detectLoss(acked *segment) {
 			seg.lost = true
 			s.inflight -= seg.size
 			lost += seg.size
+			seg.inRtx = true
 			s.rtxQueue = append(s.rtxQueue, seg)
 		}
 	}
@@ -291,14 +337,28 @@ func (s *Sender) detectLoss(acked *segment) {
 	}
 }
 
-// pruneOutstanding drops acked segments from the front of the ordered list.
+// pruneOutstanding drops acked segments from the front of the ordered list,
+// recycling the ones the retransmission queue no longer references. The
+// backing array is compacted once the dead prefix dominates, so steady-state
+// traffic reuses it instead of growing without bound.
 func (s *Sender) pruneOutstanding() {
-	i := 0
-	for i < len(s.outstanding) && s.outstanding[i].acked {
-		i++
+	for s.outHead < len(s.outstanding) && s.outstanding[s.outHead].acked {
+		seg := s.outstanding[s.outHead]
+		s.outstanding[s.outHead] = nil
+		s.outHead++
+		seg.inOut = false
+		if !seg.inRtx {
+			s.freeSegment(seg)
+		}
 	}
-	if i > 0 {
-		s.outstanding = s.outstanding[i:]
+	if s.outHead > 32 && s.outHead*2 >= len(s.outstanding) {
+		n := copy(s.outstanding, s.outstanding[s.outHead:])
+		tail := s.outstanding[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		s.outstanding = s.outstanding[:n]
+		s.outHead = 0
 	}
 }
 
@@ -310,26 +370,41 @@ func (s *Sender) rto() netsim.Time {
 	return rto
 }
 
+// armRTO pushes the timeout deadline past now. A single timer event serves
+// every arm: if one is already scheduled it observes the moved deadline when
+// it fires and re-arms for the remainder.
 func (s *Sender) armRTO() {
-	s.rtoSeq++
-	seq := s.rtoSeq
+	s.rtoDeadline = s.Host.Eng.Now() + s.rto()
 	s.rtoArm = true
-	s.Host.Eng.After(s.rto(), func() { s.fireRTO(seq) })
+	if !s.rtoPending {
+		s.rtoPending = true
+		s.Host.Eng.At(s.rtoDeadline, s.rtoFireFn)
+	}
 }
 
-func (s *Sender) fireRTO(seq int) {
-	if seq != s.rtoSeq || s.completed || !s.rtoArm {
+func (s *Sender) fireRTO() {
+	s.rtoPending = false
+	if s.completed || !s.rtoArm {
+		return
+	}
+	now := s.Host.Eng.Now()
+	if now < s.rtoDeadline {
+		// ACKs moved the deadline since this timer was set; sleep out the
+		// remainder.
+		s.rtoPending = true
+		s.Host.Eng.At(s.rtoDeadline, s.rtoFireFn)
 		return
 	}
 	// Anything outstanding and un-lost is now presumed lost.
 	lost := 0
-	for _, seg := range s.outstanding {
+	for _, seg := range s.outstanding[s.outHead:] {
 		if seg.acked || seg.lost {
 			continue
 		}
 		seg.lost = true
 		s.inflight -= seg.size
 		lost += seg.size
+		seg.inRtx = true
 		s.rtxQueue = append(s.rtxQueue, seg)
 	}
 	if lost > 0 {

@@ -116,10 +116,12 @@ func TestReceiverDeduplicates(t *testing.T) {
 	r := NewReceiver(b, 7, a.ID)
 	var delivered int64
 	r.OnDeliver = func(n int, now netsim.Time) { delivered += int64(n) }
-	// Deliver the same segment twice, bypassing a sender.
-	pkt := &netsim.Packet{Flow: 7, Src: a.ID, Dst: b.ID, Seq: 0, Size: netsim.HeaderBytes + 1000}
-	b.HandlePacket(pkt)
-	dup := *pkt
+	// Deliver the same segment twice, bypassing a sender. The duplicate is a
+	// distinct packet object, as a retransmission would be (the host recycles
+	// every packet it consumes, so re-sending the same pointer is invalid).
+	seg := netsim.Packet{Flow: 7, Src: a.ID, Dst: b.ID, Seq: 0, Size: netsim.HeaderBytes + 1000}
+	pkt, dup := seg, seg
+	b.HandlePacket(&pkt)
 	b.HandlePacket(&dup)
 	eng.Run()
 	if delivered != 1000 {

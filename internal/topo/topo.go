@@ -73,7 +73,10 @@ func BuildSpineLeaf(eng *netsim.Engine, opts SpineLeafOpts, options ...opt.Optio
 	return NewSpineLeaf(eng, opts)
 }
 
-// NewSpineLeaf builds and wires the fabric.
+// NewSpineLeaf builds and wires the fabric. Like BuildDumbbell, every node
+// gets its own partition and every link is bound to its receiving partition —
+// no-ops on a classic engine, a conservative lookahead of the host/fabric
+// link delay on a partitioned one.
 //
 // Deprecated: use BuildSpineLeaf, which takes functional options.
 func NewSpineLeaf(eng *netsim.Engine, opts SpineLeafOpts) *SpineLeaf {
@@ -89,11 +92,15 @@ func NewSpineLeaf(eng *netsim.Engine, opts SpineLeafOpts) *SpineLeaf {
 		return netsim.NewDropTail(opts.QueueBytes)
 	}
 
+	leafEng := make([]*netsim.Engine, opts.Leaves)
+	spineEng := make([]*netsim.Engine, opts.Spines)
 	for l := 0; l < opts.Leaves; l++ {
 		t.Leaves = append(t.Leaves, netsim.NewSwitch(LeafIDBase+l))
+		leafEng[l] = eng.AddPartition()
 	}
 	for s := 0; s < opts.Spines; s++ {
 		t.Spines = append(t.Spines, netsim.NewSwitch(SpineIDBase+s))
+		spineEng[s] = eng.AddPartition()
 	}
 
 	// Hosts and host↔leaf links.
@@ -101,9 +108,10 @@ func NewSpineLeaf(eng *netsim.Engine, opts SpineLeafOpts) *SpineLeaf {
 		leaf := t.Leaves[l]
 		for k := 0; k < opts.HostsPerLeaf; k++ {
 			id := l*opts.HostsPerLeaf + k
-			h := tcp.NewHost(eng, id)
-			up := netsim.NewLink(eng, leaf, opts.HostLinkBps, opts.HostDelay, newQueue())
-			down := netsim.NewLink(eng, h, opts.HostLinkBps, opts.HostDelay, newQueue())
+			hEng := eng.AddPartition()
+			h := tcp.NewHost(hEng, id)
+			up := netsim.NewLink(hEng, leaf, opts.HostLinkBps, opts.HostDelay, newQueue()).BindRemote(leafEng[l])
+			down := netsim.NewLink(leafEng[l], h, opts.HostLinkBps, opts.HostDelay, newQueue()).BindRemote(hEng)
 			h.SetEgress(up)
 			leaf.AddPort(id, down)
 			leaf.AddRoute(id, id)
@@ -114,8 +122,8 @@ func NewSpineLeaf(eng *netsim.Engine, opts SpineLeafOpts) *SpineLeaf {
 	// Leaf↔spine links and inter-leaf routing.
 	for l, leaf := range t.Leaves {
 		for s, spine := range t.Spines {
-			up := netsim.NewLink(eng, spine, opts.FabricLinkBps, opts.FabricDelay, newQueue())
-			down := netsim.NewLink(eng, leaf, opts.FabricLinkBps, opts.FabricDelay, newQueue())
+			up := netsim.NewLink(leafEng[l], spine, opts.FabricLinkBps, opts.FabricDelay, newQueue()).BindRemote(spineEng[s])
+			down := netsim.NewLink(spineEng[s], leaf, opts.FabricLinkBps, opts.FabricDelay, newQueue()).BindRemote(leafEng[l])
 			leaf.AddPort(SpineIDBase+s, up)
 			spine.AddPort(LeafIDBase+l, down)
 		}
@@ -157,12 +165,13 @@ func (t *SpineLeaf) PathVia(src, dst, spine int) []int {
 }
 
 // ProvisionCPUs gives every host a CPU with the given core count and cost
-// table. opt.WithScope labels each host's CPU telemetry with host="<id>".
+// table, attached to the host's own partition view. opt.WithScope labels each
+// host's CPU telemetry with host="<id>".
 func (t *SpineLeaf) ProvisionCPUs(cores int, costs ksim.Costs, options ...opt.Option) {
 	scope := opt.Resolve(options).Scope
 	for i, h := range t.Hosts {
-		hsc := scope.With(obs.Label{Key: "host", Value: strconv.Itoa(i)})
-		h.AttachCPU(ksim.NewCPU(t.Eng, cores, hsc), costs)
+		hsc := h.Eng.PartitionScope(scope.With(obs.Label{Key: "host", Value: strconv.Itoa(i)}))
+		h.AttachCPU(ksim.NewCPU(h.Eng, cores, hsc), costs)
 	}
 }
 
@@ -201,6 +210,12 @@ type FleetSpec struct {
 // work to them. Per-host telemetry is labelled host="<id>" like the CPU
 // scopes. The caller starts the plane with Controller.Start.
 func (t *SpineLeaf) ProvisionFleet(spec FleetSpec, f core.Freezer, e core.Evaluator, a core.Adapter, options ...opt.Option) *fleet.Controller {
+	if t.Eng.Domains() > 0 {
+		// The fleet plane schedules onto member CPUs from the controller's
+		// partition (install callbacks, aggregation ticks); that cross-
+		// partition scheduling is exactly what windowed execution forbids.
+		panic("topo: ProvisionFleet requires a classic engine (netsim.NewEngine), not a partitioned one")
+	}
 	scope := opt.Resolve(options).Scope
 	ctrl := fleet.New(t.Eng, spec.Core, f, e, a, spec.Fleet, opt.WithScope(scope))
 	for i, h := range t.Hosts {
@@ -263,25 +278,36 @@ func TestbedOpts(flows int) DumbbellOpts {
 // BuildDumbbell builds the dumbbell. Sender host IDs are 0..F−1, receivers
 // F..2F−1, the UDP host is 2F. opt.WithScope exports drop/ECN telemetry for
 // the two shared links, labelled link="bottleneck" and link="back".
+//
+// Every node (each host and each switch) is placed in its own partition and
+// every link is bound to its receiving partition, unconditionally: on a
+// classic engine both calls are no-ops, and on a partitioned engine
+// (netsim.NewParallelEngine) the builder yields a conservative lookahead of
+// the access-link delay. The partition layout depends only on the topology,
+// never on the domain count, so partitioned runs are byte-identical for any
+// parallelism.
 func BuildDumbbell(eng *netsim.Engine, opts DumbbellOpts, options ...opt.Option) *Dumbbell {
 	scope := opt.Resolve(options).Scope
 	d := &Dumbbell{Eng: eng}
 	d.Left = netsim.NewSwitch(LeafIDBase)
 	d.Right = netsim.NewSwitch(LeafIDBase + 1)
+	leftEng := eng.AddPartition()
+	rightEng := eng.AddPartition()
 
-	d.Bottleneck = netsim.NewLink(eng, d.Right, opts.BottleneckBps, opts.BottleneckDelay,
+	d.Bottleneck = netsim.NewLink(leftEng, d.Right, opts.BottleneckBps, opts.BottleneckDelay,
 		netsim.NewDropTail(opts.BufferBytes),
-		scope.With(obs.Label{Key: "link", Value: "bottleneck"}))
-	back := netsim.NewLink(eng, d.Left, opts.BottleneckBps, opts.BottleneckDelay,
+		leftEng.PartitionScope(scope.With(obs.Label{Key: "link", Value: "bottleneck"}))).BindRemote(rightEng)
+	back := netsim.NewLink(rightEng, d.Left, opts.BottleneckBps, opts.BottleneckDelay,
 		netsim.NewDropTail(1<<22),
-		scope.With(obs.Label{Key: "link", Value: "back"}))
+		rightEng.PartitionScope(scope.With(obs.Label{Key: "link", Value: "back"}))).BindRemote(leftEng)
 	d.Left.AddPort(LeafIDBase+1, d.Bottleneck)
 	d.Right.AddPort(LeafIDBase, back)
 
-	attach := func(id int, sw *netsim.Switch) *tcp.Host {
-		h := tcp.NewHost(eng, id)
-		up := netsim.NewLink(eng, sw, opts.AccessBps, opts.AccessDelay, netsim.NewDropTail(1<<22))
-		down := netsim.NewLink(eng, h, opts.AccessBps, opts.AccessDelay, netsim.NewDropTail(1<<22))
+	attach := func(id int, sw *netsim.Switch, swEng *netsim.Engine) *tcp.Host {
+		hEng := eng.AddPartition()
+		h := tcp.NewHost(hEng, id)
+		up := netsim.NewLink(hEng, sw, opts.AccessBps, opts.AccessDelay, netsim.NewDropTail(1<<22)).BindRemote(swEng)
+		down := netsim.NewLink(swEng, h, opts.AccessBps, opts.AccessDelay, netsim.NewDropTail(1<<22)).BindRemote(hEng)
 		h.SetEgress(up)
 		sw.AddPort(id, down)
 		sw.AddRoute(id, id)
@@ -289,10 +315,10 @@ func BuildDumbbell(eng *netsim.Engine, opts DumbbellOpts, options ...opt.Option)
 	}
 
 	for i := 0; i < opts.Flows; i++ {
-		d.Senders = append(d.Senders, attach(i, d.Left))
-		d.Receivers = append(d.Receivers, attach(opts.Flows+i, d.Right))
+		d.Senders = append(d.Senders, attach(i, d.Left, leftEng))
+		d.Receivers = append(d.Receivers, attach(opts.Flows+i, d.Right, rightEng))
 	}
-	d.UDPHost = attach(2*opts.Flows, d.Left)
+	d.UDPHost = attach(2*opts.Flows, d.Left, leftEng)
 
 	// Cross routes: left switch reaches right-side hosts over the
 	// bottleneck and vice versa.
@@ -316,19 +342,21 @@ func NewDumbbell(eng *netsim.Engine, opts DumbbellOpts, sc ...obs.Scope) *Dumbbe
 }
 
 // ProvisionCPUs gives every dumbbell host a CPU (the paper's 4-core servers).
-// opt.WithScope labels each host's CPU telemetry with host="<id>".
+// opt.WithScope labels each host's CPU telemetry with host="<id>". Each CPU
+// is attached to its host's own partition view so completions execute in the
+// host's partition; trace emission goes through the partition's shard.
 func (d *Dumbbell) ProvisionCPUs(cores int, costs ksim.Costs, options ...opt.Option) {
 	scope := opt.Resolve(options).Scope
 	hostScope := func(h *tcp.Host) obs.Scope {
-		return scope.With(obs.Label{Key: "host", Value: strconv.Itoa(h.ID)})
+		return h.Eng.PartitionScope(scope.With(obs.Label{Key: "host", Value: strconv.Itoa(h.ID)}))
 	}
 	for _, h := range d.Senders {
-		h.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(h)), costs)
+		h.AttachCPU(ksim.NewCPU(h.Eng, cores, hostScope(h)), costs)
 	}
 	for _, h := range d.Receivers {
-		h.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(h)), costs)
+		h.AttachCPU(ksim.NewCPU(h.Eng, cores, hostScope(h)), costs)
 	}
-	d.UDPHost.AttachCPU(ksim.NewCPU(d.Eng, cores, hostScope(d.UDPHost)), costs)
+	d.UDPHost.AttachCPU(ksim.NewCPU(d.UDPHost.Eng, cores, hostScope(d.UDPHost)), costs)
 }
 
 // AttachCPUs is the pre-options form of ProvisionCPUs.
