@@ -268,8 +268,10 @@ func BenchmarkFleetFanout(b *testing.B) {
 	costs := ksim.DefaultCosts()
 	for i := 0; i < 8; i++ {
 		cpu := ksim.NewCPU(eng, 4, obs.Scope{})
-		ctrl.AddMember(core.NewCore(eng, cpu, costs, cfg),
-			netlink.NewChannel(eng, cpu, costs, nil))
+		if _, err := ctrl.AddMember(core.NewCore(eng, cpu, costs, cfg),
+			netlink.NewChannel(eng, cpu, costs, nil)); err != nil {
+			b.Fatal(err)
+		}
 	}
 	if err := ctrl.Start(); err != nil {
 		b.Fatal(err)

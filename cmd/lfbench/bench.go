@@ -267,8 +267,10 @@ func measureFleetMicrobenches() []benchEntry {
 	costs := liteflow.DefaultCosts()
 	for i := 0; i < 8; i++ {
 		cpu := ksim.NewCPU(eng, 4, obs.Scope{})
-		ctrl.AddMember(core.NewCore(eng, cpu, costs, cfg),
-			netlink.NewChannel(eng, cpu, costs, nil))
+		if _, err := ctrl.AddMember(core.NewCore(eng, cpu, costs, cfg),
+			netlink.NewChannel(eng, cpu, costs, nil)); err != nil {
+			panic(err)
+		}
 	}
 	if err := ctrl.Start(); err != nil {
 		panic(err)

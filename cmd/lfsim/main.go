@@ -56,6 +56,8 @@ import (
 type options struct {
 	scheme    string
 	fleet     int
+	canary    int
+	canaryWin time.Duration
 	flows     int
 	duration  time.Duration
 	warmup    time.Duration
@@ -89,6 +91,8 @@ func main() {
 	var o options
 	flag.StringVar(&o.scheme, "cc", "bbr", "scheme: bbr | cubic | lf-aurora | lf-mocc | ccp-aurora | ccp-mocc")
 	flag.IntVar(&o.fleet, "fleet", 0, "run the fleet distribution-plane scenario with this many members instead of a CC scenario (0 = off); a -fault-profile other than none selects the chaos variant")
+	flag.IntVar(&o.canary, "canary", 0, "with -fleet: stage each minted epoch on this many canary members and auto-rollback on a failed health verdict before the rest of the fleet sees it (0 = fan out everywhere at once), see DESIGN.md §4i")
+	flag.DurationVar(&o.canaryWin, "canary-window", 0, "with -canary: virtual-time observation window before the canary verdict (0 = four slow-path aggregation intervals)")
 	flag.IntVar(&o.flows, "flows", 1, "concurrent flows")
 	flag.DurationVar(&o.duration, "duration", 5*time.Second, "measured duration (after warmup)")
 	flag.DurationVar(&o.warmup, "warmup", 2*time.Second, "warmup before measurement starts")
@@ -250,7 +254,13 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 		if o.simDomains >= 1 {
 			return 0, fmt.Errorf("-sim-domains does not apply to -fleet scenarios (the distribution plane schedules across members and runs on the classic engine)")
 		}
+		if o.canary >= o.fleet {
+			return 0, fmt.Errorf("-canary %d must leave at least one non-canary member (-fleet %d)", o.canary, o.fleet)
+		}
 		return runFleet(o, rep, prof.Active(), sc, reg, tracer, flight, stdout, stderr)
+	}
+	if o.canary > 0 {
+		return 0, fmt.Errorf("-canary requires -fleet (staged rollouts are a distribution-plane feature)")
 	}
 	if flight != nil && o.simDomains >= 1 {
 		return 0, fmt.Errorf("-flight-out/-listen sample fleet-wide metrics on a virtual-time tick, which would read other partitions mid-window; drop -sim-domains for flight recording")
@@ -478,14 +488,16 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 // aggregate is the fleet-wide model-query rate in queries/s.
 func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, tracer *obs.Tracer, flight *obs.FlightRecorder, stdout, stderr io.Writer) (float64, error) {
 	r := experiments.RunFleetScenario(experiments.FleetScenarioOpts{
-		Members:     o.fleet,
-		Seed:        o.seed + int64(rep),
-		Dur:         netsim.Time(o.duration.Nanoseconds()),
-		Chaos:       chaos,
-		Obs:         sc,
-		CacheShards: o.cacheShards,
-		Flight:      flight,
-		FlightEvery: netsim.Time(o.flightEvery.Nanoseconds()),
+		Members:      o.fleet,
+		Seed:         o.seed + int64(rep),
+		Dur:          netsim.Time(o.duration.Nanoseconds()),
+		Chaos:        chaos,
+		Obs:          sc,
+		CacheShards:  o.cacheShards,
+		Flight:       flight,
+		FlightEvery:  netsim.Time(o.flightEvery.Nanoseconds()),
+		CanaryCount:  o.canary,
+		CanaryWindow: netsim.Time(o.canaryWin.Nanoseconds()),
 	})
 	st := r.Stats
 	fmt.Fprintf(stdout, "fleet: %d members, epoch %d, %d member installs (%d parked, %d abandoned, %d deferred)\n",
@@ -494,6 +506,10 @@ func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, t
 		st.Aggregations, st.Samples, st.FidelityChecks, st.SkippedByNecessity, st.OutageDrops)
 	fmt.Fprintf(stdout, "fleet staleness: mean %.3f, peak %d, final %d; member epochs %v\n",
 		r.MeanStale, r.PeakStale, st.StaleMembers, r.Epochs)
+	if o.canary > 0 {
+		fmt.Fprintf(stdout, "fleet canary: released epoch %d, %d passes, %d fails, %d rollbacks, blacklist %v\n",
+			st.ReleasedEpoch, st.CanaryPasses, st.CanaryFails, st.Rollbacks, r.Blacklisted)
+	}
 	fmt.Fprintf(stdout, "aggregate: %.0f queries/s across %d members\n", r.GoodputQPS, r.Members)
 	if err := writeExports(o, reg, tracer, flight); err != nil {
 		return 0, err

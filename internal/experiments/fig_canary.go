@@ -70,29 +70,77 @@ func bloat(base *nn.Network, hidden int, off float64, seed int64) *nn.Network {
 	return n
 }
 
-// FigFleetCanary (experiment #22, beyond the paper) closes the loop between
-// the snapshot distribution plane and the flight recorder: it is the
-// canary-gate scenario DESIGN.md §4g describes. A 4-member fleet runs a
-// drifting model under a closed-loop query stream — each member issues its
-// next query only after the previous one's modeled kernel inference cost has
-// elapsed, so per-member goodput is inversely tied to the active snapshot's
-// MAC count. Halfway through, the slow-path model is swapped for a bloated
-// 4→2048→1 network (a deliberately degraded push: ~10240 MACs ≈ 20µs per
-// inference versus the healthy model's 1µs floor). The fleet dutifully builds
-// and fans it out; the flight recorder, sampling every registry series on a
-// virtual-time tick, must flag the regression purely from windowed deltas:
-// the fleet-wide query rate collapses and the modeled query-latency p99
-// jumps between the pre-install and post-install windows.
-func FigFleetCanary(cfg Config) Result {
+// CanaryScenarioOpts parameterizes one bad-push run of the canary scenario.
+type CanaryScenarioOpts struct {
+	Members     int         // fleet size (default 4)
+	CanaryCount int         // staged cohort size when Gate is on (default 1)
+	Gate        bool        // enable the controller's canary gate
+	Seed        int64       // rng seed for traffic and model init
+	Dur         netsim.Time // bad push at Dur; the run ends at 2×Dur
+	Obs         obs.Scope   // telemetry scope; a private registry is used when it has none
+	CacheShards int
+	Flight      *obs.FlightRecorder // recorder to sample into (private one when nil)
+	FlightEvery netsim.Time         // sampling period (default aggregation/2)
+}
+
+// CanaryScenarioResult is everything the acceptance tests and the experiment
+// figure need from one run.
+type CanaryScenarioResult struct {
+	Stats       fleet.Stats
+	Blacklisted []int64   // epochs rejected by the canary verdict
+	Canaries    []int     // staged cohort member indices (nil when ungated)
+	EpochsSeen  [][]int64 // per member: distinct epochs observed active, in order
+	Final       []int64   // member epochs at run end
+	Released    int64     // released epoch at run end
+
+	QBefore, QAfter float64 // summed member query rates around the bad push
+	PBefore, PAfter float64 // mean member query-latency p99 levels
+	Ticks           int64   // flight samples recorded
+}
+
+// GoodputRatio is QAfter/QBefore (0 when the pre-push window is empty).
+func (r CanaryScenarioResult) GoodputRatio() float64 {
+	if r.QBefore <= 0 {
+		return 0
+	}
+	return r.QAfter / r.QBefore
+}
+
+// LatencyRatio is PAfter/PBefore (0 when the pre-push window is empty).
+func (r CanaryScenarioResult) LatencyRatio() float64 {
+	if r.PBefore <= 0 {
+		return 0
+	}
+	return r.PAfter / r.PBefore
+}
+
+// RunCanaryScenario runs the bad-push fleet scenario once: a fleet under a
+// closed-loop query stream — each member issues its next query only after the
+// previous one's modeled kernel inference cost has elapsed, so per-member
+// goodput is inversely tied to the active snapshot's MAC count — whose
+// slow-path model is swapped at Dur for a bloated 4→2048→1 network (~10240
+// MACs ≈ 20µs per inference versus the healthy model's 1µs floor). Ungated,
+// the fleet dutifully fans the degraded epoch out to everyone and fleet-wide
+// goodput collapses. Gated, the epoch reaches only the canary cohort; the
+// controller's verdict reads the same flight recorder the figure does, fails
+// the cohort on its goodput collapse, rolls it back, and blacklists the epoch
+// — non-canary members never see it.
+func RunCanaryScenario(o CanaryScenarioOpts) CanaryScenarioResult {
 	const (
-		members    = 4
 		aggDivisor = 40
 		driftEvery = 6
+		flowLen    = 16
 	)
-	res := Result{ID: "fleet-canary", Title: "Canary gate: flight-recorder delta across a degraded snapshot install",
-		XLabel: "window (0=pre-install, 1=post-install)", YLabel: "queries/s | p99 ns"}
-
-	dur := cfg.dur(2 * netsim.Second)
+	if o.Members <= 0 {
+		o.Members = 4
+	}
+	if o.CanaryCount <= 0 {
+		o.CanaryCount = 1
+	}
+	dur := o.Dur
+	if dur <= 0 {
+		dur = 2 * netsim.Second
+	}
 	end := 2 * dur
 	agg := dur / aggDivisor
 	if agg < 200*netsim.Microsecond {
@@ -102,67 +150,71 @@ func FigFleetCanary(cfg Config) Result {
 	// The flight recorder needs a live registry to sample. Use the caller's
 	// when observability is on; otherwise run a private one — the simulation
 	// is identical either way, obs is passive.
-	sc := cfg.Obs
+	sc := o.Obs
 	reg := sc.Registry()
 	if reg == nil {
 		reg = obs.NewRegistry()
 		sc = obs.New(reg, nil)
 	}
-	fr := cfg.Flight
+	fr := o.Flight
 	if fr == nil {
 		fr = obs.NewFlightRecorder(0)
 	}
-	flightEvery := cfg.FlightEvery
+	flightEvery := o.FlightEvery
 	if flightEvery <= 0 {
 		flightEvery = agg / 2
 	}
 
 	eng := netsim.NewEngine()
-	fabric := topo.BuildSpineLeaf(eng, topo.DefaultSpineLeafOpts(members/2), opt.WithScope(sc))
+	fabric := topo.BuildSpineLeaf(eng, topo.DefaultSpineLeafOpts((o.Members+1)/2), opt.WithScope(sc))
 	costs := ksim.DefaultCosts()
 	fabric.ProvisionCPUs(4, costs, opt.WithScope(sc))
 
 	user := &canaryUser{
-		net:        nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, cfg.Seed),
+		net:        nn.New([]int{4, 8, 1}, []nn.Activation{nn.Tanh, nn.Linear}, o.Seed),
 		driftEvery: driftEvery,
 		sign:       1,
 	}
 	ccfg := core.DefaultConfig()
-	ccfg.FlowCacheShards = cfg.CacheShards
-	spec := topo.FleetSpec{
-		Costs: costs,
-		Core:  ccfg,
-		Fleet: fleet.Config{
-			BatchInterval:         agg,
-			AggregationInterval:   agg,
-			MaxConcurrentInstalls: 2,
-		},
+	ccfg.FlowCacheShards = o.CacheShards
+	fcfg := fleet.Config{
+		BatchInterval:         agg,
+		AggregationInterval:   agg,
+		MaxConcurrentInstalls: 2,
 	}
+	if o.Gate {
+		// The verdict window is 4 aggregation rounds: long enough for the
+		// flight recorder (sampling at agg/2) to hold several points in both
+		// the baseline and observation windows, short enough that a bad epoch
+		// is caught within a fraction of the run.
+		fcfg.CanaryCount = o.CanaryCount
+		fcfg.CanaryWindow = 4 * agg
+		fcfg.Flight = fr
+	}
+	spec := topo.FleetSpec{Costs: costs, Core: ccfg, Fleet: fcfg}
 	ctrl := fabric.ProvisionFleet(spec, user, user, user, opt.WithScope(sc))
 	if err := ctrl.Start(); err != nil {
 		panic("experiments: fleet canary: " + err.Error())
 	}
 
 	// The bad push: swap the slow-path model for the bloated network and stop
-	// drifting, so exactly one degraded epoch is minted and the post-install
-	// window is steady-state on it. Hidden-layer growth is legal for
-	// RegisterModel (input/output dims are pinned).
+	// drifting. Ungated, exactly one degraded epoch is minted and the
+	// post-install window is steady-state on it; gated, every re-mint of the
+	// still-bloated model is caught at the canary stage in turn. Hidden-layer
+	// growth is legal for RegisterModel (input/output dims are pinned).
 	eng.At(dur, func() {
-		user.net = bloat(user.net, 2048, 1.0, cfg.Seed+7)
+		user.net = bloat(user.net, 2048, 1.0, o.Seed+7)
 		user.driftEvery = 0
 	})
 
-	// Closed-loop per-member query stream: each member issues its next query
-	// only after the active snapshot's modeled inference cost has elapsed, so
-	// a bloated snapshot directly depresses that member's query rate. Flows
-	// are short-lived (flowLen queries, then FIN + a fresh flow) — snapshots
-	// pin per flow at first use (§3.4 flow consistency), so churn is what
-	// lets new flows pick up a freshly activated version.
-	const flowLen = 16
+	// Closed-loop per-member query stream. Flows are short-lived (flowLen
+	// queries, then FIN + a fresh flow) — snapshots pin per flow at first use
+	// (§3.4 flow consistency), so churn is what lets new flows pick up a
+	// freshly activated version.
 	queryEvery := 5 * netsim.Microsecond
 	for i, m := range ctrl.Members() {
 		i, m := i, m
-		rng := rand.New(rand.NewSource(cfg.Seed + 31*int64(i)))
+		rng := rand.New(rand.NewSource(o.Seed + 31*int64(i)))
 		in := make([]int64, 4)
 		out := make([]int64, 1)
 		flow := netsim.FlowID(i*1_000_000 + 1)
@@ -191,7 +243,8 @@ func FigFleetCanary(cfg Config) Result {
 		eng.After(queryEvery, tick)
 	}
 
-	// Flight-recorder tick: snapshot every series in the registry.
+	// Flight-recorder tick: snapshot every series in the registry. The gated
+	// controller's verdict reads these same samples.
 	var flightTick func()
 	flightTick = func() {
 		fr.Sample(reg, int64(eng.Now()))
@@ -201,61 +254,117 @@ func FigFleetCanary(cfg Config) Result {
 	}
 	eng.After(flightEvery, flightTick)
 
+	// Epoch-history tick: record each member's active epoch 4× per
+	// aggregation round, so the acceptance test can prove a blacklisted epoch
+	// was never live on a non-canary member at any sampled instant.
+	seen := make([][]int64, o.Members)
+	var epochTick func()
+	epochTick = func() {
+		for i, e := range ctrl.MemberEpochs() {
+			if n := len(seen[i]); n == 0 || seen[i][n-1] != e {
+				seen[i] = append(seen[i], e)
+			}
+		}
+		if eng.Now() < end {
+			eng.After(agg/4, epochTick)
+		}
+	}
+	epochTick()
+
 	eng.RunUntil(end)
 	ctrl.Stop()
 	for _, m := range ctrl.Members() {
 		m.Core.StopSweeper()
 	}
 
-	// The canary gate: compare the steady window before the bad push against
-	// the steady window after the rollout settles. [dur, 3dur/2] is left out
-	// as the transition (build, fan-out, member installs).
+	// Compare the steady window before the bad push against the window after
+	// the rollout (or the gate's block) settles. [dur, 3dur/2] is left out as
+	// the transition (build, fan-out, member installs, verdicts).
 	before := obs.TimeWindow{From: int64(dur / 2), To: int64(dur)}
 	after := obs.TimeWindow{From: int64(3 * dur / 2), To: int64(end)}
-	deltas := fr.Delta(before, after)
-
-	var qBefore, qAfter float64 // summed member query rates
-	var pBefore, pAfter float64 // mean member p99 levels
+	res := CanaryScenarioResult{
+		Stats:       ctrl.Stats(),
+		Blacklisted: ctrl.Blacklisted(),
+		EpochsSeen:  seen,
+		Final:       ctrl.MemberEpochs(),
+		Released:    ctrl.Released(),
+		Ticks:       fr.Ticks(),
+	}
+	if o.Gate {
+		for i := 0; i < o.CanaryCount; i++ {
+			res.Canaries = append(res.Canaries, i)
+		}
+	}
 	var pN int
-	for _, d := range deltas {
+	for _, d := range fr.Delta(before, after) {
 		switch {
 		case strings.HasPrefix(d.Name, "liteflow_core_queries_total") && d.Cumulative:
-			qBefore += d.Before
-			qAfter += d.After
+			res.QBefore += d.Before
+			res.QAfter += d.After
 		case strings.HasPrefix(d.Name, "liteflow_query_ns") && strings.HasSuffix(d.Name, "_p99"):
-			pBefore += d.Before
-			pAfter += d.After
+			res.PBefore += d.Before
+			res.PAfter += d.After
 			pN++
 		}
 	}
 	if pN > 0 {
-		pBefore /= float64(pN)
-		pAfter /= float64(pN)
+		res.PBefore /= float64(pN)
+		res.PAfter /= float64(pN)
 	}
+	return res
+}
+
+// FigFleetCanary (experiment #22, beyond the paper) closes the loop between
+// the snapshot distribution plane and the flight recorder twice over: the
+// same bad push runs once ungated — the degraded epoch fans out fleet-wide
+// and the windowed deltas flag the collapse after the fact — and once with
+// the controller's canary gate on, where the verdict reads the same flight
+// recorder live, catches the collapse on the one-member cohort, rolls it
+// back, and blacklists the epoch. The pair of series is the before/after of
+// ROADMAP item 3: observation (PR 6) versus enforcement (this gate).
+func FigFleetCanary(cfg Config) Result {
+	const members = 4
+	res := Result{ID: "fleet-canary", Title: "Canary gate: ungated collapse vs gated auto-rollback on a degraded snapshot",
+		XLabel: "window (0=pre-push, 1=post-push)", YLabel: "queries/s | p99 ns"}
+
+	dur := cfg.dur(2 * netsim.Second)
+
+	// Ungated baseline on private telemetry: its only outputs are the window
+	// aggregates. The gated run gets the caller's scope and flight recorder,
+	// so the exported artifacts show the blocked rollout.
+	ungated := RunCanaryScenario(CanaryScenarioOpts{
+		Members: members, Seed: cfg.Seed, Dur: dur, CacheShards: cfg.CacheShards,
+	})
+	gated := RunCanaryScenario(CanaryScenarioOpts{
+		Members: members, CanaryCount: 1, Gate: true,
+		Seed: cfg.Seed, Dur: dur, CacheShards: cfg.CacheShards,
+		Obs: cfg.Obs, Flight: cfg.Flight, FlightEvery: cfg.FlightEvery,
+	})
 
 	res.Series = append(res.Series,
-		Series{Name: "goodput-qps", X: []float64{0, 1}, Y: []float64{qBefore, qAfter}},
-		Series{Name: "query-p99-ns", X: []float64{0, 1}, Y: []float64{pBefore, pAfter}},
+		Series{Name: "goodput-qps-ungated", X: []float64{0, 1}, Y: []float64{ungated.QBefore, ungated.QAfter}},
+		Series{Name: "goodput-qps-gated", X: []float64{0, 1}, Y: []float64{gated.QBefore, gated.QAfter}},
+		Series{Name: "query-p99-ns-ungated", X: []float64{0, 1}, Y: []float64{ungated.PBefore, ungated.PAfter}},
+		Series{Name: "query-p99-ns-gated", X: []float64{0, 1}, Y: []float64{gated.PBefore, gated.PAfter}},
 	)
-	st := ctrl.Stats()
-	goodputRatio := 0.0
-	if qBefore > 0 {
-		goodputRatio = qAfter / qBefore
+
+	uVerdict := "no regression"
+	if ungated.GoodputRatio() < 0.9 || ungated.LatencyRatio() > 1.5 {
+		uVerdict = "REGRESSION: degraded snapshot reached the whole fleet"
 	}
-	latRatio := 0.0
-	if pBefore > 0 {
-		latRatio = pAfter / pBefore
+	gVerdict := "REGRESSION: gate failed to protect the fleet"
+	if gated.GoodputRatio() >= 0.7 && gated.Stats.CanaryFails >= 1 {
+		gVerdict = "BLOCKED: canary gate caught the degraded epoch"
 	}
-	verdict := "no regression"
-	if goodputRatio < 0.9 || latRatio > 1.5 {
-		verdict = "REGRESSION: degraded snapshot flagged"
-	}
+	us, gs := ungated.Stats, gated.Stats
 	res.Notes = append(res.Notes,
-		fmt.Sprintf("flight delta windows: before [%d,%d] after [%d,%d] ns (virtual), %d samples recorded",
-			before.From, before.To, after.From, after.To, fr.Ticks()),
-		fmt.Sprintf("goodput ratio %.3f, p99 latency ratio %.2f — %s", goodputRatio, latRatio, verdict),
-		fmt.Sprintf("fleet: %d epochs, %d member installs (%d parked, %d abandoned)",
-			st.Epoch, st.MemberInstalls, st.InstallsParked, st.InstallsAbandoned),
+		fmt.Sprintf("ungated: goodput ratio %.3f, p99 ratio %.2f — %s", ungated.GoodputRatio(), ungated.LatencyRatio(), uVerdict),
+		fmt.Sprintf("gated:   goodput ratio %.3f, p99 ratio %.2f — %s", gated.GoodputRatio(), gated.LatencyRatio(), gVerdict),
+		fmt.Sprintf("ungated fleet: %d epochs, %d member installs (%d parked, %d abandoned)",
+			us.Epoch, us.MemberInstalls, us.InstallsParked, us.InstallsAbandoned),
+		fmt.Sprintf("gated fleet: released epoch %d, %d canary passes, %d fails, %d rollbacks, blacklisted %v",
+			gs.ReleasedEpoch, gs.CanaryPasses, gs.CanaryFails, gs.Rollbacks, gated.Blacklisted),
+		fmt.Sprintf("flight: %d samples (gated run); verdict windows = 4 aggregation rounds", gated.Ticks),
 	)
 	return res
 }

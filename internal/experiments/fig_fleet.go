@@ -54,17 +54,26 @@ type FleetScenarioOpts struct {
 	// of virtual time (default agg/2) for the whole run.
 	Flight      *obs.FlightRecorder
 	FlightEvery netsim.Time
+	// CanaryCount > 0 stages every minted epoch through that many canary
+	// members before release (fleet.Config canary gating). The gate reads
+	// the run's flight recorder; private telemetry is provisioned when the
+	// caller brought none.
+	CanaryCount int
+	// CanaryWindow is the verdict observation window. Zero means 4
+	// aggregation intervals.
+	CanaryWindow netsim.Time
 }
 
 // FleetScenarioResult reports one scenario run.
 type FleetScenarioResult struct {
-	Members    int
-	Queries    int64   // member datapath queries during the measured window
-	GoodputQPS float64 // Queries per measured second, fleet-wide
-	MeanStale  float64 // time-averaged stale-member count over the whole run
-	PeakStale  int
-	Epochs     []int64 // final per-member epochs
-	Stats      fleet.Stats
+	Members     int
+	Queries     int64   // member datapath queries during the measured window
+	GoodputQPS  float64 // Queries per measured second, fleet-wide
+	MeanStale   float64 // time-averaged stale-member count over the whole run
+	PeakStale   int
+	Epochs      []int64 // final per-member epochs
+	Blacklisted []int64 // epochs the canary gate refused to release (mint order)
+	Stats       fleet.Stats
 }
 
 // RunFleetScenario provisions a spine–leaf fabric with one kernel datapath
@@ -84,6 +93,18 @@ func RunFleetScenario(o FleetScenarioOpts) FleetScenarioResult {
 		agg = 200 * netsim.Microsecond
 	}
 	end := 2 * dur
+
+	// Canary gating needs flight-recorder evidence: when the caller brought
+	// no registry or recorder, provision private ones so the gate can see.
+	// Telemetry is passive either way — the simulation is identical.
+	if o.CanaryCount > 0 {
+		if o.Obs.Registry() == nil {
+			o.Obs = obs.New(obs.NewRegistry(), nil)
+		}
+		if o.Flight == nil {
+			o.Flight = obs.NewFlightRecorder(0)
+		}
+	}
 
 	eng := netsim.NewEngine()
 	hostsPerLeaf := (o.Members + 1) / 2
@@ -109,12 +130,22 @@ func RunFleetScenario(o FleetScenarioOpts) FleetScenarioResult {
 			AggregationInterval:   agg,
 			MaxConcurrentInstalls: 2,
 		},
-		CoreOptions: func(host int) []opt.Option {
-			// Watchdog window: a few missed batch intervals mean the slow
-			// path is dark for this member; degrade instead of waiting on a
-			// half-installed standby.
-			return []opt.Option{opt.WithWatchdog(opt.Watchdog{Window: int64(4 * agg)})}
-		},
+		CoreOptions: nil, // set below
+	}
+	if o.CanaryCount > 0 {
+		win := o.CanaryWindow
+		if win <= 0 {
+			win = 4 * agg
+		}
+		spec.Fleet.CanaryCount = o.CanaryCount
+		spec.Fleet.CanaryWindow = win
+		spec.Fleet.Flight = o.Flight
+	}
+	spec.CoreOptions = func(host int) []opt.Option {
+		// Watchdog window: a few missed batch intervals mean the slow
+		// path is dark for this member; degrade instead of waiting on a
+		// half-installed standby.
+		return []opt.Option{opt.WithWatchdog(opt.Watchdog{Window: int64(4 * agg)})}
 	}
 	if o.Chaos {
 		spec.MemberOptions = func(host int) []opt.Option {
@@ -214,13 +245,14 @@ func RunFleetScenario(o FleetScenarioOpts) FleetScenarioResult {
 	}
 
 	return FleetScenarioResult{
-		Members:    members,
-		Queries:    queries,
-		GoodputQPS: float64(queries) / (float64(dur) / 1e9),
-		MeanStale:  staleSum / float64(staleSamples),
-		PeakStale:  peakStale,
-		Epochs:     ctrl.MemberEpochs(),
-		Stats:      ctrl.Stats(),
+		Members:     members,
+		Queries:     queries,
+		GoodputQPS:  float64(queries) / (float64(dur) / 1e9),
+		MeanStale:   staleSum / float64(staleSamples),
+		PeakStale:   peakStale,
+		Epochs:      ctrl.MemberEpochs(),
+		Blacklisted: ctrl.Blacklisted(),
+		Stats:       ctrl.Stats(),
 	}
 }
 

@@ -8,19 +8,31 @@
 //
 // Versioning and staleness: every fan-out bumps a fleet-wide epoch; each
 // member records the epoch it last activated (liteflow_fleet_member_epoch)
-// and the controller gauges how many members lag the fleet epoch
+// and the controller gauges how many members lag the released epoch
 // (liteflow_fleet_stale_members). Install concurrency is bounded
 // (Config.MaxConcurrentInstalls), so a large fleet rolls out in waves rather
 // than bursting the control plane. A member inside an outage or degraded
 // window parks the install — the module stays registered as that member's
 // standby (core.ErrDegraded semantics) — and catches up on its first
-// post-recovery batch, either activating the parked standby (still current)
-// or re-enqueueing an install of the current version (superseded meanwhile).
+// post-recovery batch, either activating the parked standby (still the
+// released version) or re-enqueueing an install of the released version
+// (superseded meanwhile).
+//
+// Staged rollouts (DESIGN.md §4i): with canary gating enabled, a minted
+// epoch first installs only to a deterministic cohort (the lowest non-pinned
+// member indices), the controller observes per-member flight-recorder deltas
+// over Config.CanaryWindow against the pre-install window, and only a
+// passing verdict releases the remaining members. A failing verdict rolls
+// the canaries back to the retained previous version, blacklists the epoch,
+// and the next aggregation rounds mint a fresh candidate. Members may also be
+// pinned (Member.Pin) to opt out of fan-outs entirely.
 //
 // Determinism (DESIGN.md §4d): member batches are pooled in ascending member
-// index order on every aggregation tick, the fan-out queue is filled in the
-// same order, and everything runs on the single-goroutine engine, so a fleet
-// run is byte-identical across repetitions and serial-vs-parallel harnesses.
+// index order on every aggregation tick, the fan-out queue and the canary
+// cohort are filled in the same order, verdicts fire on the single-goroutine
+// engine clock, and the flight-recorder reduction iterates series in sorted
+// name order, so a fleet run is byte-identical across repetitions and
+// serial-vs-parallel harnesses.
 package fleet
 
 import (
@@ -54,6 +66,31 @@ type Config struct {
 	// NamePrefix names generated snapshot modules (suffix is the epoch).
 	// Zero means "fleet".
 	NamePrefix string
+
+	// CanaryCount stages each minted epoch to the first CanaryCount
+	// non-pinned members (lowest indices — deterministic per §4d) before
+	// releasing the rest. Zero defers to CanaryFraction; if both are zero,
+	// or the cohort would cover the whole fleet, epochs fan out unstaged.
+	CanaryCount int
+	// CanaryFraction stages ceil(fraction × eligible members) canaries when
+	// CanaryCount is zero.
+	CanaryFraction float64
+	// CanaryWindow is how long the controller observes the canary cohort
+	// before the verdict, and how far back the pre-install baseline window
+	// reaches. Zero disables staging entirely.
+	CanaryWindow netsim.Time
+	// Flight is the recorder the verdict reads member health from. A nil
+	// recorder (or one with no matching series) makes verdicts pass
+	// fail-open — the gate cannot see, so it does not block.
+	Flight *obs.FlightRecorder
+	// CanaryMinGoodputRatio fails the verdict when a canary's query rate
+	// over the observation window drops below this fraction of its
+	// pre-install rate. Zero means 0.9.
+	CanaryMinGoodputRatio float64
+	// CanaryMaxLatencyRatio fails the verdict when a canary's query-latency
+	// p99 estimate grows beyond this multiple of its pre-install value.
+	// Zero means 1.5.
+	CanaryMaxLatencyRatio float64
 }
 
 func (c Config) withDefaults() Config {
@@ -69,14 +106,28 @@ func (c Config) withDefaults() Config {
 	if c.NamePrefix == "" {
 		c.NamePrefix = "fleet"
 	}
+	if c.CanaryMinGoodputRatio <= 0 {
+		c.CanaryMinGoodputRatio = 0.9
+	}
+	if c.CanaryMaxLatencyRatio <= 0 {
+		c.CanaryMaxLatencyRatio = 1.5
+	}
 	return c
+}
+
+// staged reports whether canary gating is configured at all (the per-wave
+// cohort can still degenerate to unstaged when it would cover the fleet).
+func (c Config) staged() bool {
+	return c.CanaryWindow > 0 && (c.CanaryCount > 0 || c.CanaryFraction > 0)
 }
 
 // Stats is a snapshot of the controller's counters.
 type Stats struct {
 	Members            int
-	Epoch              int64
+	Epoch              int64 // latest minted epoch (may still be in canary)
+	ReleasedEpoch      int64 // latest epoch released to the whole fleet
 	StaleMembers       int
+	PinnedMembers      int
 	Aggregations       int64 // pooled adapt rounds with at least one sample
 	Batches            int64 // member batches accepted
 	Samples            int64 // samples pooled across all members
@@ -87,9 +138,13 @@ type Stats struct {
 	BuildFailures      int64
 	MemberInstalls     int64 // per-member installs activated
 	InstallsParked     int64 // member installs parked on a degraded core
-	InstallsAbandoned  int64 // member installs dropped (rejection, closed channel)
+	InstallsAbandoned  int64 // member installs dropped (rejection, closed channel, Stop)
 	InstallsDeferred   int64 // build rounds deferred because a fan-out was in flight
+	CanaryPasses       int64 // staged epochs released after a healthy observation window
+	CanaryFails        int64 // staged epochs blacklisted by the verdict
+	Rollbacks          int64 // canary members rolled back to the prior version
 	OutageDrops        int64 // member batches dropped inside injected outages
+	LateCatchUps       int64 // catch-up installs enqueued after the wave fan-out time passed
 	Malformed          int64
 	FidelityMismatches int64
 	LastStability      float64
@@ -109,11 +164,16 @@ type fleetMetrics struct {
 	parked         *obs.Counter
 	abandoned      *obs.Counter
 	deferred       *obs.Counter
+	canaryPass     *obs.Counter
+	canaryFail     *obs.Counter
+	rollbacks      *obs.Counter
 	outageDrops    *obs.Counter
 	lateCatchUps   *obs.Counter
 	malformed      *obs.Counter
 	mismatched     *obs.Counter
 	staleMembers   *obs.Gauge
+	pinnedMembers  *obs.Gauge
+	releasedEpoch  *obs.Gauge
 	lastStability  *obs.Gauge
 	lastFidelity   *obs.Gauge
 }
@@ -130,13 +190,18 @@ func newFleetMetrics(sc obs.Scope) fleetMetrics {
 		buildFailures:  sc.Counter("liteflow_fleet_build_failures_total", "snapshot build failures (the next aggregation round retries)"),
 		installs:       sc.Counter("liteflow_fleet_member_installs_total", "per-member snapshot installs activated"),
 		parked:         sc.Counter("liteflow_fleet_installs_parked_total", "member installs parked on a degraded core until recovery"),
-		abandoned:      sc.Counter("liteflow_fleet_installs_abandoned_total", "member installs dropped: module rejected or channel closed"),
+		abandoned:      sc.Counter("liteflow_fleet_installs_abandoned_total", "member installs dropped: module rejected, channel closed, or controller stopped"),
 		deferred:       sc.Counter("liteflow_fleet_installs_deferred_total", "build rounds deferred because a fan-out was still in flight"),
+		canaryPass:     sc.Counter("liteflow_fleet_canary_pass_total", "staged epochs released after a healthy canary observation window"),
+		canaryFail:     sc.Counter("liteflow_fleet_canary_fail_total", "staged epochs blacklisted by a failing canary verdict"),
+		rollbacks:      sc.Counter("liteflow_fleet_rollbacks_total", "canary members rolled back to the prior released version"),
 		outageDrops:    sc.Counter("liteflow_fleet_outage_drops_total", "member batches dropped inside injected outages"),
 		lateCatchUps:   sc.Counter("liteflow_fleet_late_catchups_total", "catch-up installs enqueued immediately because the wave fan-out time had passed"),
 		malformed:      sc.Counter("liteflow_fleet_malformed_total", "member messages rejected by sample validation"),
 		mismatched:     sc.Counter("liteflow_fleet_fidelity_size_mismatch_total", "pooled fidelity samples skipped for output-size mismatch"),
-		staleMembers:   sc.Gauge("liteflow_fleet_stale_members", "members whose installed epoch lags the fleet epoch"),
+		staleMembers:   sc.Gauge("liteflow_fleet_stale_members", "members whose installed epoch lags the released epoch"),
+		pinnedMembers:  sc.Gauge("liteflow_fleet_pinned_members", "members pinned to a version and excluded from fan-outs"),
+		releasedEpoch:  sc.Gauge("liteflow_fleet_released_epoch", "latest epoch released to the whole fleet"),
 		lastStability:  sc.Gauge("liteflow_fleet_last_stability", "stability metric from the latest pooled round"),
 		lastFidelity:   sc.Gauge("liteflow_fleet_last_fidelity", "minimal pooled fidelity loss from the latest necessity check"),
 	}
@@ -151,8 +216,10 @@ type Member struct {
 	epoch       int64 // last activated fleet epoch
 	parkedEpoch int64 // epoch of a standby parked by degradation (0 = none)
 	installing  bool
+	pinned      bool
 	pending     []core.Sample
 
+	ctrl       *Controller
 	inj        *fault.Injector
 	epochGauge *obs.Gauge
 }
@@ -160,13 +227,70 @@ type Member struct {
 // Epoch returns the fleet epoch this member last activated.
 func (m *Member) Epoch() int64 { return m.epoch }
 
-// installJob is one queued member install of a specific version.
+// Pinned reports whether the member is pinned to its installed version.
+func (m *Member) Pinned() bool { return m.pinned }
+
+// Pin freezes the member at epoch, which must be the version it currently
+// has installed — pinning is "hold what you have", not a request to install
+// something else. Pinned members are skipped by fan-outs, canary cohorts,
+// releases, and catch-up, and are not counted stale; they keep sampling (their
+// traffic still informs adaptation). Returns an error if epoch is not the
+// member's installed epoch.
+func (m *Member) Pin(epoch int64) error {
+	if epoch != m.epoch {
+		return fmt.Errorf("fleet: member %d is at epoch %d, cannot pin epoch %d", m.Index, m.epoch, epoch)
+	}
+	if !m.pinned {
+		m.pinned = true
+		m.ctrl.sc.Event2("fleet", "pin", m.ctrl.eng.Now(), "member", int64(m.Index), "epoch", epoch)
+		m.ctrl.updateStale()
+	}
+	return nil
+}
+
+// Unpin re-enrolls the member in fan-outs. It rejoins at its next catch-up
+// (or the next minted wave) rather than being installed synchronously.
+func (m *Member) Unpin() {
+	if !m.pinned {
+		return
+	}
+	m.pinned = false
+	m.ctrl.sc.Event2("fleet", "unpin", m.ctrl.eng.Now(), "member", int64(m.Index), "epoch", m.epoch)
+	m.ctrl.updateStale()
+}
+
+// installJob is one queued member install of a specific version. rollback
+// jobs re-install the retained previous version after a failed canary.
 type installJob struct {
-	m     *Member
+	m        *Member
+	mod      *codegen.Module
+	prog     *quant.Program
+	epoch    int64
+	rollback bool
+}
+
+// version ties an epoch to its built module and the userspace reference
+// program. The controller retains the released version (rel) alongside the
+// latest minted one (cur) so a failed canary has something to roll back to.
+type version struct {
+	epoch int64
 	mod   *codegen.Module
 	prog  *quant.Program
-	epoch int64
 }
+
+// wavePhase is the rollout state machine (DESIGN.md §4i). Transitions happen
+// either when the install queue drains (onDrained) or when the canary
+// observation timer fires (canaryVerdict).
+type wavePhase int
+
+const (
+	phaseIdle     wavePhase = iota // no wave in flight; builds may mint
+	phaseFanOut                    // unstaged wave installing to all members
+	phaseCanary                    // staged wave installing to the cohort
+	phaseObserve                   // cohort live; watching flight deltas
+	phaseRelease                   // verdict passed; installing the rest
+	phaseRollback                  // verdict failed; restoring the cohort
+)
 
 // Controller is the fleet's single slow path.
 type Controller struct {
@@ -178,25 +302,32 @@ type Controller struct {
 	evaluator core.Evaluator
 	adapter   core.Adapter
 
-	members []*Member
-	epoch   int64
-	curMod  *codegen.Module
-	curProg *quant.Program // userspace reference copy of the current version
+	members    []*Member
+	cur        version // latest minted version (may still be in canary)
+	rel        version // latest version released to the whole fleet
+	lastMinted int64   // monotonic epoch allocator (blacklisted epochs not reused)
+	blacklist  []int64 // epochs rejected by canary verdicts, in mint order
 
 	stabilityHist []float64
 	queue         []installJob
 	inFlight      int
 	running       bool
 
+	phase    wavePhase
+	canaries []*Member   // cohort of the staged wave in flight
+	obsStart netsim.Time // when the canary observation window opened
+
 	// wave is the open rollout span: rooted at the first pooled aggregation
 	// after the previous wave drained, versioned when buildAndFanOut mints
-	// the epoch (waveEpoch), ended when the install queue drains. Member
-	// installs emit as standalone spans keyed by the same epoch pid, so the
-	// whole rollout renders as one tree across all member tracks.
+	// the epoch (waveEpoch), ended when the rollout resolves (released or
+	// rolled back). Member installs emit as standalone spans keyed by the
+	// same epoch pid, so the whole rollout renders as one tree across all
+	// member tracks.
 	spans     *obs.SpanTracer
 	wave      *obs.Span
 	waveEpoch int64
-	fanStart  netsim.Time
+	fanStart  netsim.Time // fan-out instant of the released version (catch-up replay anchor)
+	segStart  netsim.Time // start of the current enqueue burst (span children)
 
 	sc  obs.Scope
 	met fleetMetrics
@@ -222,29 +353,64 @@ func New(eng *netsim.Engine, coreCfg core.Config, f core.Freezer, e core.Evaluat
 // core's watchdog (when configured) is armed — the controller is its slow
 // path now. opt.WithFaults subjects this member's batch stream to injected
 // outages (the controller drops its batches inside outage windows, which is
-// the silence the member's watchdog detects). Call before Start.
-func (c *Controller) AddMember(co *core.Core, ch *netlink.Channel, options ...opt.Option) *Member {
+// the silence the member's watchdog detects).
+//
+// Members added after Start are provisioned as late joiners: the released
+// version is registered and activated directly and batching begins
+// immediately, so the member enters at epoch parity instead of sitting at
+// epoch 0 inflating the staleness gauge. A late joiner whose core rejects the
+// released module returns an error and is not enrolled.
+func (c *Controller) AddMember(co *core.Core, ch *netlink.Channel, options ...opt.Option) (*Member, error) {
 	o := opt.Resolve(options)
-	m := &Member{Index: len(c.members), Core: co, Chan: ch, inj: o.Faults}
+	m := &Member{Index: len(c.members), Core: co, Chan: ch, ctrl: c, inj: o.Faults}
 	msc := c.sc.With(obs.Label{Key: "member", Value: strconv.Itoa(m.Index)}).WithTid(int64(m.Index) + 1)
 	m.epochGauge = msc.Gauge("liteflow_fleet_member_epoch", "fleet epoch this member last activated")
 	ch.SetDeliver(func(batch []netlink.Message) { c.handleMemberBatch(m, batch) })
 	co.AttachSlowPath()
+	if c.running {
+		if _, err := co.RegisterModel(c.rel.mod); err != nil {
+			return nil, fmt.Errorf("fleet: provision late member %d: %w", m.Index, err)
+		}
+		m.epoch = c.rel.epoch
+		m.epochGauge.Set(float64(m.epoch))
+		c.members = append(c.members, m)
+		ch.StartBatching(c.cfg.BatchInterval)
+		c.updateStale()
+		c.sc.Event2("fleet", "late_join", c.eng.Now(), "member", int64(m.Index), "epoch", m.epoch)
+		return m, nil
+	}
 	c.members = append(c.members, m)
-	return m
+	return m, nil
 }
 
 // Members returns the enrolled members in index order.
 func (c *Controller) Members() []*Member { return c.members }
 
-// Epoch returns the current fleet snapshot epoch.
-func (c *Controller) Epoch() int64 { return c.epoch }
+// Epoch returns the latest minted fleet epoch. During a staged rollout this
+// runs ahead of Released; a failed canary reverts it to the released epoch.
+func (c *Controller) Epoch() int64 { return c.cur.epoch }
 
-// StaleMembers returns how many members lag the fleet epoch.
+// Released returns the latest epoch released to the whole fleet.
+func (c *Controller) Released() int64 { return c.rel.epoch }
+
+// Blacklisted returns the epochs rejected by canary verdicts, in mint order.
+func (c *Controller) Blacklisted() []int64 { return append([]int64(nil), c.blacklist...) }
+
+func (c *Controller) isBlacklisted(epoch int64) bool {
+	for _, e := range c.blacklist {
+		if e == epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// StaleMembers returns how many members lag the released epoch. Canaries
+// running ahead of the release and pinned members are not stale.
 func (c *Controller) StaleMembers() int {
 	stale := 0
 	for _, m := range c.members {
-		if m.epoch < c.epoch {
+		if m.epoch < c.rel.epoch && !m.pinned {
 			stale++
 		}
 	}
@@ -276,8 +442,10 @@ func (c *Controller) Start() error {
 	if err != nil {
 		return fmt.Errorf("fleet: initial snapshot: %w", err)
 	}
-	c.epoch = 1
-	c.curMod, c.curProg = mod, prog
+	c.lastMinted = 1
+	c.cur = version{epoch: 1, mod: mod, prog: prog}
+	c.rel = c.cur
+	c.met.releasedEpoch.Set(1)
 	for _, m := range c.members {
 		if _, err := m.Core.RegisterModel(mod); err != nil {
 			return fmt.Errorf("fleet: provision member %d: %w", m.Index, err)
@@ -294,9 +462,27 @@ func (c *Controller) Start() error {
 	return nil
 }
 
-// Stop halts the aggregation chain and member batching.
+// Stop halts the aggregation chain and member batching, and tears down the
+// install machinery: the queued tail of any in-flight wave is abandoned
+// (counted in installs_abandoned) and the open wave span is closed — without
+// this, in-flight SendToKernel callbacks would keep registering and
+// activating models on a controller the caller believes is dead.
 func (c *Controller) Stop() {
+	if !c.running {
+		return
+	}
 	c.running = false
+	if n := len(c.queue); n > 0 {
+		c.met.abandoned.Add(int64(n))
+		c.sc.Event1("fleet", "stop_abandons_queue", c.eng.Now(), "jobs", int64(n))
+		c.queue = nil
+	}
+	if c.wave != nil {
+		c.wave.EndFailed(c.eng.Now(), "stopped")
+		c.wave, c.waveEpoch = nil, 0
+	}
+	c.phase = phaseIdle
+	c.canaries = nil
 	for _, m := range c.members {
 		m.Chan.StopBatching()
 		m.Core.StopWatchdog()
@@ -305,10 +491,18 @@ func (c *Controller) Stop() {
 
 // Stats returns a snapshot of the controller's counters.
 func (c *Controller) Stats() Stats {
+	pinned := 0
+	for _, m := range c.members {
+		if m.pinned {
+			pinned++
+		}
+	}
 	return Stats{
 		Members:            len(c.members),
-		Epoch:              c.epoch,
+		Epoch:              c.cur.epoch,
+		ReleasedEpoch:      c.rel.epoch,
 		StaleMembers:       c.StaleMembers(),
+		PinnedMembers:      pinned,
 		Aggregations:       c.met.aggregations.Value(),
 		Batches:            c.met.batches.Value(),
 		Samples:            c.met.samples.Value(),
@@ -321,7 +515,11 @@ func (c *Controller) Stats() Stats {
 		InstallsParked:     c.met.parked.Value(),
 		InstallsAbandoned:  c.met.abandoned.Value(),
 		InstallsDeferred:   c.met.deferred.Value(),
+		CanaryPasses:       c.met.canaryPass.Value(),
+		CanaryFails:        c.met.canaryFail.Value(),
+		Rollbacks:          c.met.rollbacks.Value(),
 		OutageDrops:        c.met.outageDrops.Value(),
+		LateCatchUps:       c.met.lateCatchUps.Value(),
 		Malformed:          c.met.malformed.Value(),
 		FidelityMismatches: c.met.mismatched.Value(),
 		LastStability:      c.met.lastStability.Value(),
@@ -332,8 +530,13 @@ func (c *Controller) Stats() Stats {
 // handleMemberBatch buffers one member's delivered batch for the next
 // aggregation tick. A batch arriving inside that member's injected outage is
 // dropped wholesale — exactly the silence its watchdog detects — so the
-// member degrades, parks any install, and catches up here on recovery.
+// member degrades, parks any install, and catches up here on recovery. A
+// batch delivered after Stop (already in flight when the controller went
+// down) is ignored.
 func (c *Controller) handleMemberBatch(m *Member, batch []netlink.Message) {
+	if !c.running {
+		return
+	}
 	now := c.eng.Now()
 	if m.inj.ServiceDown(int64(now)) {
 		c.met.outageDrops.Inc()
@@ -356,14 +559,18 @@ func (c *Controller) handleMemberBatch(m *Member, batch []netlink.Message) {
 	c.met.batches.Inc()
 }
 
-// catchUp brings a just-proven-alive member back to epoch parity. A standby
-// parked at the current epoch activates in place; a parked or missed epoch
-// that was superseded re-enqueues an install of the current version.
+// catchUp brings a just-proven-alive member back to parity with the released
+// epoch. A standby parked at the released epoch activates in place; a parked
+// or missed epoch that was superseded (or blacklisted) re-enqueues an install
+// of the released version. Pinned members hold their version.
 func (c *Controller) catchUp(m *Member) {
+	if m.pinned {
+		return
+	}
 	if m.parkedEpoch != 0 {
 		target := m.parkedEpoch
 		m.parkedEpoch = 0
-		if target == c.epoch && !m.Core.Degraded() {
+		if target == c.rel.epoch && !c.isBlacklisted(target) && !m.Core.Degraded() {
 			if err := m.Core.Activate(); err == nil {
 				m.epoch = target
 				m.epochGauge.Set(float64(target))
@@ -374,11 +581,11 @@ func (c *Controller) catchUp(m *Member) {
 				return
 			}
 		}
-		// Superseded (or activation still refused): fall through and
-		// re-enqueue the current version below.
+		// Superseded, blacklisted, or activation still refused: fall through
+		// and re-enqueue the released version below.
 	}
-	if m.epoch < c.epoch && !m.installing && !c.queuedFor(m) {
-		job := installJob{m: m, mod: c.curMod, prog: c.curProg, epoch: c.epoch}
+	if m.epoch < c.rel.epoch && !m.installing && !c.queuedFor(m) {
+		job := installJob{m: m, mod: c.rel.mod, prog: c.rel.prog, epoch: c.rel.epoch}
 		// Replay the missed wave: ideally the member's install would slot in
 		// at the epoch's original fan-out instant, but a catching-up member
 		// is by definition past it. TryAt reports the stale clock as a typed
@@ -470,17 +677,17 @@ func (c *Controller) converged() bool {
 }
 
 // evaluateNecessity computes the minimal fidelity loss of the pooled batch
-// against the controller's own reference copy of the current snapshot
+// against the controller's own reference copy of the latest minted snapshot
 // program. Unlike the single-core service — which round-trips inputs to the
 // kernel — the fleet controller evaluates in userspace: shipping N members'
 // worth of queries down and back would multiply cross-space cost by the
 // fleet size for an answer the reference program gives bit-identically.
 func (c *Controller) evaluateNecessity(pool []core.Sample) {
-	if c.curProg == nil {
+	if c.cur.prog == nil {
 		return
 	}
 	c.met.fidelityChecks.Inc()
-	prog := c.curProg
+	prog := c.cur.prog
 	in := make([]int64, prog.InputSize())
 	out := make([]int64, prog.OutputSize())
 	minLoss := math.Inf(1)
@@ -517,17 +724,20 @@ func (c *Controller) evaluateNecessity(pool []core.Sample) {
 }
 
 // buildAndFanOut mints the next epoch — one freeze, one quantization, one
-// codegen — and enqueues an install for every member in index order. A
-// fan-out still in flight defers the build: overlapping waves would ship
-// distinct versions to different members and break epoch monotonicity.
+// codegen — and starts its rollout. With canary gating configured the new
+// version installs only to the cohort and the wave enters the observation
+// phase when those installs drain; otherwise it enqueues an install for every
+// non-pinned member in index order. A wave still in flight (any non-idle
+// phase) defers the build: overlapping waves would ship distinct versions to
+// different members and break epoch monotonicity.
 func (c *Controller) buildAndFanOut() {
-	if c.inFlight > 0 || len(c.queue) > 0 {
+	if c.phase != phaseIdle || c.inFlight > 0 || len(c.queue) > 0 {
 		c.met.deferred.Inc()
 		c.wave.Mark("install_deferred", c.eng.Now(), "queued", int64(len(c.queue)))
 		return
 	}
 	now := c.eng.Now()
-	next := c.epoch + 1
+	next := c.lastMinted + 1
 	name := c.cfg.NamePrefix + "_" + strconv.FormatInt(next, 10)
 	prog := quant.Quantize(c.freezer.Freeze(), c.coreCfg.Quant)
 	mod, err := codegen.Build(prog, name)
@@ -538,8 +748,12 @@ func (c *Controller) buildAndFanOut() {
 		c.wave.Mark("build_failure", now, "epoch", next)
 		return
 	}
-	c.epoch = next
-	c.curMod, c.curProg = mod, prog
+	// Re-seed the correctness gate: the window that justified this mint is
+	// spent. Without this a single stable stretch could re-pass instantly on
+	// the next round and mint back-to-back epochs off stale history.
+	c.stabilityHist = c.stabilityHist[:0]
+	c.lastMinted = next
+	c.cur = version{epoch: next, mod: mod, prog: prog}
 	c.met.versions.Inc()
 	c.sc.Event2("fleet", "version", now, "epoch", next, "members", int64(len(c.members)))
 	if c.wave != nil {
@@ -553,12 +767,32 @@ func (c *Controller) buildAndFanOut() {
 		c.wave.Child("necessity_gate", now, 0)
 		c.wave.Child("quantize", now, 0)
 		c.wave.Child("build", now, 0)
-		c.fanStart = now
 	}
-	for _, m := range c.members {
-		c.enqueue(installJob{m: m, mod: mod, prog: prog, epoch: next})
+	c.segStart = now
+	if cohort := c.canaryCohort(); len(cohort) > 0 {
+		c.phase = phaseCanary
+		c.canaries = cohort
+		c.sc.Event2("fleet", "canary_stage", now, "epoch", next, "canaries", int64(len(cohort)))
+		if c.wave != nil {
+			c.wave.Mark("canary_stage", now, "canaries", int64(len(cohort)))
+		}
+		for _, m := range cohort {
+			c.enqueue(installJob{m: m, mod: mod, prog: prog, epoch: next})
+		}
+	} else {
+		c.phase = phaseFanOut
+		c.rel = c.cur
+		c.met.releasedEpoch.Set(float64(next))
+		c.fanStart = now
+		for _, m := range c.members {
+			if m.pinned {
+				continue
+			}
+			c.enqueue(installJob{m: m, mod: mod, prog: prog, epoch: next})
+		}
 	}
 	c.updateStale()
+	c.onDrained() // all members pinned (or no installs enqueued): resolve now
 }
 
 // enqueue adds one member install and pumps the bounded-concurrency queue.
@@ -567,8 +801,12 @@ func (c *Controller) enqueue(j installJob) {
 	c.pump()
 }
 
-// pump starts queued installs while concurrency slots are free.
+// pump starts queued installs while concurrency slots are free. A stopped
+// controller leaves the queue alone — Stop abandons it.
 func (c *Controller) pump() {
+	if !c.running {
+		return
+	}
 	for c.inFlight < c.cfg.MaxConcurrentInstalls && len(c.queue) > 0 {
 		j := c.queue[0]
 		c.queue = c.queue[1:]
@@ -590,10 +828,19 @@ func (c *Controller) install(j installJob) {
 		c.inFlight--
 		c.updateStale()
 		c.pump()
-		c.maybeCloseWave()
+		c.onDrained()
 	}
 	sendErr := m.Chan.SendToKernel(j.prog.NumParams()*8, func() {
 		now := c.eng.Now()
+		if !c.running {
+			// Stop raced the transfer: a dead controller must not keep
+			// registering and activating models on member cores.
+			m.installing = false
+			c.inFlight--
+			c.met.abandoned.Inc()
+			c.sc.Event2("fleet", "install_aborted", now, "member", int64(m.Index), "epoch", j.epoch)
+			return
+		}
 		if m.Core.CPU != nil {
 			m.Core.CPU.Charge(ksim.Kernel,
 				m.Core.Costs.SnapshotInstallPerParam*netsim.Time(j.prog.NumParams()))
@@ -623,12 +870,18 @@ func (c *Controller) install(j installJob) {
 		}
 		m.epoch = j.epoch
 		m.epochGauge.Set(float64(j.epoch))
-		c.met.installs.Inc()
-		c.sc.Event2("fleet", "install", now, "member", int64(m.Index), "epoch", j.epoch)
-		// Standalone span keyed by the epoch pid: catch-up installs of an
-		// already-drained wave still join that version's tree.
-		c.spans.Lone("snapshot", "member_install", j.epoch, int64(m.Index), start, now-start)
-		c.spans.Lone("snapshot", "member_activate", j.epoch, int64(m.Index), now, 0)
+		if j.rollback {
+			c.met.rollbacks.Inc()
+			c.sc.Event2("fleet", "rollback", now, "member", int64(m.Index), "epoch", j.epoch)
+			c.spans.Lone("snapshot", "member_rollback", j.epoch, int64(m.Index), start, now-start)
+		} else {
+			c.met.installs.Inc()
+			c.sc.Event2("fleet", "install", now, "member", int64(m.Index), "epoch", j.epoch)
+			// Standalone span keyed by the epoch pid: catch-up installs of an
+			// already-drained wave still join that version's tree.
+			c.spans.Lone("snapshot", "member_install", j.epoch, int64(m.Index), start, now-start)
+			c.spans.Lone("snapshot", "member_activate", j.epoch, int64(m.Index), now, 0)
+		}
 		finish()
 	})
 	if sendErr != nil {
@@ -638,21 +891,59 @@ func (c *Controller) install(j installJob) {
 	}
 }
 
-// maybeCloseWave ends the open rollout span once its fan-out has fully
-// drained: the wave covers pool start through the last member install
-// completing (parked members show as park marks and catch up later under the
-// same epoch pid).
-func (c *Controller) maybeCloseWave() {
-	if c.wave == nil || c.waveEpoch == 0 || c.inFlight > 0 || len(c.queue) > 0 {
+// onDrained advances the rollout state machine once the install queue fully
+// drains. An unstaged wave (or the release burst of a staged one) closes the
+// rollout span; a staged wave's canary burst opens the observation window and
+// arms the verdict timer; a rollback burst closes the span as failed.
+func (c *Controller) onDrained() {
+	if c.inFlight > 0 || len(c.queue) > 0 {
 		return
 	}
 	now := c.eng.Now()
-	c.wave.Child("install_wave", c.fanStart, now-c.fanStart)
-	c.wave.End(now)
-	c.wave, c.waveEpoch = nil, 0
+	switch c.phase {
+	case phaseFanOut:
+		if c.wave != nil {
+			c.wave.Child("install_wave", c.segStart, now-c.segStart)
+			c.wave.End(now)
+		}
+		c.wave, c.waveEpoch = nil, 0
+		c.phase = phaseIdle
+	case phaseCanary:
+		if c.wave != nil {
+			c.wave.Child("canary_install_wave", c.segStart, now-c.segStart)
+		}
+		c.phase = phaseObserve
+		c.obsStart = now
+		epoch := c.cur.epoch
+		c.eng.After(c.cfg.CanaryWindow, func() { c.canaryVerdict(epoch) })
+	case phaseRelease:
+		if c.wave != nil {
+			c.wave.Child("release_wave", c.segStart, now-c.segStart)
+			c.wave.End(now)
+		}
+		c.wave, c.waveEpoch = nil, 0
+		c.phase = phaseIdle
+		c.canaries = nil
+	case phaseRollback:
+		if c.wave != nil {
+			c.wave.Child("rollback_wave", c.segStart, now-c.segStart)
+			c.wave.EndFailed(now, "canary_failed")
+		}
+		c.wave, c.waveEpoch = nil, 0
+		c.phase = phaseIdle
+		c.canaries = nil
+	}
 }
 
-// updateStale refreshes the staleness gauge after any epoch movement.
+// updateStale refreshes the staleness and pinned gauges after any epoch or
+// pin movement.
 func (c *Controller) updateStale() {
 	c.met.staleMembers.Set(float64(c.StaleMembers()))
+	pinned := 0
+	for _, m := range c.members {
+		if m.pinned {
+			pinned++
+		}
+	}
+	c.met.pinnedMembers.Set(float64(pinned))
 }

@@ -59,7 +59,9 @@ func newFleetRig(t *testing.T, n int, cfg Config, memberOptions func(i int) (cor
 		cpu := ksim.NewCPU(eng, 4)
 		c := core.NewCore(eng, cpu, ksim.DefaultCosts(), ccfg, co...)
 		ch := netlink.NewChannel(eng, cpu, ksim.DefaultCosts(), nil)
-		ctrl.AddMember(c, ch, mo...)
+		if _, err := ctrl.AddMember(c, ch, mo...); err != nil {
+			t.Fatal(err)
+		}
 		r.cores = append(r.cores, c)
 		r.chans = append(r.chans, ch)
 	}

@@ -1,0 +1,67 @@
+package obs
+
+// This file implements the window-comparison helper on top of the flight
+// recorder's Delta primitive: CompareWindows reduces the per-series deltas of
+// a before/after window pair to one aggregate statistic over a caller-chosen
+// subset of series. It is the building block a canary gate needs — "sum the
+// query rates of this member's series before and after the install, and give
+// me the ratio" — without the caller re-implementing window slicing, rate
+// derivation, or series iteration order. Like Delta, the reduction iterates
+// series in sorted-name order, so aggregates are byte-deterministic across
+// same-seed runs.
+
+// AggMode selects how CompareWindows combines matching series.
+type AggMode int
+
+const (
+	// AggSum adds the per-series window statistics — the natural reduction
+	// for cumulative rates (total queries/s across a member's series).
+	AggSum AggMode = iota
+	// AggMean averages the per-series window statistics — the natural
+	// reduction for level series (mean p99 estimate across members).
+	AggMean
+)
+
+// DeltaStat is the aggregate of one window comparison: the combined Before
+// and After statistics of every matching series, and how many series matched.
+// N == 0 means no series had enough data in both windows — callers should
+// treat the comparison as inconclusive rather than as a zero reading.
+type DeltaStat struct {
+	Before, After float64
+	N             int
+}
+
+// Ratio returns After/Before, or 0 when Before is 0 (no rate to compare
+// against — callers must check N and Before before trusting it).
+func (d DeltaStat) Ratio() float64 {
+	if d.Before == 0 {
+		return 0
+	}
+	return d.After / d.Before
+}
+
+// CompareWindows reduces Delta(before, after) over the series accepted by
+// sel (nil accepts every series) using the given aggregation mode. Cumulative
+// series contribute rates per second, level series contribute window means —
+// mixing kinds under one selector is legal but rarely meaningful, so
+// selectors usually also test SeriesDelta.Cumulative. The nil recorder
+// returns the zero DeltaStat.
+func (fr *FlightRecorder) CompareWindows(before, after TimeWindow, mode AggMode, sel func(SeriesDelta) bool) DeltaStat {
+	if fr == nil {
+		return DeltaStat{}
+	}
+	var out DeltaStat
+	for _, d := range fr.Delta(before, after) {
+		if sel != nil && !sel(d) {
+			continue
+		}
+		out.Before += d.Before
+		out.After += d.After
+		out.N++
+	}
+	if mode == AggMean && out.N > 0 {
+		out.Before /= float64(out.N)
+		out.After /= float64(out.N)
+	}
+	return out
+}

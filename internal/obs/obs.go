@@ -97,6 +97,11 @@ func (s Scope) Registry() *Registry { return s.reg }
 // Tracer returns the backing tracer (nil when tracing is off).
 func (s Scope) Tracer() *Tracer { return s.tracer }
 
+// Labels returns a copy of the scope's base labels in declaration order.
+// Callers use it to reconstruct the exposition-name fragments (`k="v"`) that
+// identify this scope's series in a flight recorder.
+func (s Scope) Labels() []Label { return append([]Label(nil), s.labels...) }
+
 // merged combines the scope's base labels with instrument labels.
 func (s Scope) merged(labels []Label) []Label {
 	if len(s.labels) == 0 {

@@ -233,7 +233,9 @@ func (t *SpineLeaf) ProvisionFleet(spec FleetSpec, f core.Freezer, e core.Evalua
 		if spec.MemberOptions != nil {
 			memberOpts = spec.MemberOptions(i)
 		}
-		ctrl.AddMember(co, ch, memberOpts...)
+		if _, err := ctrl.AddMember(co, ch, memberOpts...); err != nil {
+			panic("topo: ProvisionFleet member " + strconv.Itoa(i) + ": " + err.Error())
+		}
 	}
 	return ctrl
 }
