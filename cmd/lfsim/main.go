@@ -23,6 +23,15 @@
 // (injected slow-path outages on odd members).
 //
 //	lfsim -fleet 8 -duration 2s -fault-profile chaos
+//
+// -scenario runs a named actor scenario from the embedded corpus (or a JSON
+// file): persistent per-user session state machines — web, video-ABR, RPC
+// fan-out, bulk — on a spine–leaf fabric, with an acceptance envelope that
+// -scenario-check turns into an exit code. See DESIGN.md §4j.
+//
+//	lfsim -scenario-list
+//	lfsim -scenario rpc-incast -scenario-check
+//	lfsim -scenario web-baseline -sim-domains 4
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/opt"
 	"github.com/liteflow-sim/liteflow/internal/quant"
+	"github.com/liteflow-sim/liteflow/internal/scenario"
 	"github.com/liteflow-sim/liteflow/internal/stats"
 	"github.com/liteflow-sim/liteflow/internal/tcp"
 	"github.com/liteflow-sim/liteflow/internal/topo"
@@ -71,6 +81,12 @@ type options struct {
 	parallel  int
 
 	simDomains int
+
+	scenario      string
+	scenarioList  bool
+	scenarioCheck bool
+	scenarioScale float64
+	fleetScenario string
 
 	cacheTimeout time.Duration
 	cacheShards  int
@@ -105,6 +121,11 @@ func main() {
 	flag.IntVar(&o.reps, "reps", 1, "repetitions of the scenario; reports median/p95 aggregate goodput")
 	flag.IntVar(&o.parallel, "parallel", 1, "worker-pool size for -reps (each rep owns a private engine)")
 	flag.IntVar(&o.simDomains, "sim-domains", 0, "run the CC scenario on a conservative-lookahead parallel engine with this many worker goroutines (0 = classic serial engine); reports are byte-identical for every value, see DESIGN.md §4h")
+	flag.StringVar(&o.scenario, "scenario", "", "run an actor scenario instead of a CC scenario: an embedded corpus name (see -scenario-list) or a path to a scenario JSON file; honors -sim-domains, see DESIGN.md §4j")
+	flag.BoolVar(&o.scenarioList, "scenario-list", false, "list the embedded scenario corpus and exit")
+	flag.BoolVar(&o.scenarioCheck, "scenario-check", false, "with -scenario: exit non-zero if the run violates the scenario's acceptance envelope")
+	flag.Float64Var(&o.scenarioScale, "scenario-scale", 1, "with -scenario: scale the session population (envelopes only apply at 1)")
+	flag.StringVar(&o.fleetScenario, "fleet-scenario", "", "with -fleet: shape member query cadence by this scenario's arrival process (name or JSON path; diurnal scenarios make fleet load breathe day/night)")
 	flag.DurationVar(&o.cacheTimeout, "cache-timeout", 0, "lf-* schemes: flow-cache idle timeout (0 = entries pinned for the whole run)")
 	flag.IntVar(&o.cacheShards, "cache-shards", 0, "lf-* schemes: flow-cache shard count (0 = default; rounded up to a power of two)")
 	flag.StringVar(&o.faultProfile, "fault-profile", "none", "fault injection profile: none | netlink | slowpath | chaos")
@@ -161,6 +182,12 @@ func (b *sampledBackend) Query(state []float64, reply func(action float64)) {
 // reports print in rep order followed by a median/p95 aggregate-goodput
 // summary. Wall-clock timing goes to stderr.
 func run(o options, stdout, stderr io.Writer) error {
+	if o.scenarioList {
+		return listScenarios(stdout)
+	}
+	if o.scenario != "" {
+		return runScenario(o, stdout)
+	}
 	reps := o.reps
 	if reps < 1 {
 		reps = 1
@@ -487,6 +514,13 @@ func runOnce(o options, rep int, stdout, stderr io.Writer) (float64, error) {
 // cores, and the recovery tail must restore epoch parity. The returned
 // aggregate is the fleet-wide model-query rate in queries/s.
 func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, tracer *obs.Tracer, flight *obs.FlightRecorder, stdout, stderr io.Writer) (float64, error) {
+	var workload *scenario.Spec
+	if o.fleetScenario != "" {
+		var err error
+		if workload, err = loadScenario(o.fleetScenario); err != nil {
+			return 0, err
+		}
+	}
 	r := experiments.RunFleetScenario(experiments.FleetScenarioOpts{
 		Members:      o.fleet,
 		Seed:         o.seed + int64(rep),
@@ -498,6 +532,7 @@ func runFleet(o options, rep int, chaos bool, sc obs.Scope, reg *obs.Registry, t
 		FlightEvery:  netsim.Time(o.flightEvery.Nanoseconds()),
 		CanaryCount:  o.canary,
 		CanaryWindow: netsim.Time(o.canaryWin.Nanoseconds()),
+		Workload:     workload,
 	})
 	st := r.Stats
 	fmt.Fprintf(stdout, "fleet: %d members, epoch %d, %d member installs (%d parked, %d abandoned, %d deferred)\n",

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -261,5 +262,66 @@ func TestLfsimFleetSmoke(t *testing.T) {
 	}
 	if !bytes.Equal(t1, t2) {
 		t.Errorf("fleet Chrome traces differ between same-seed runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+}
+
+// TestLfsimScenarioCLI covers the -scenario surface: corpus listing, a
+// checked run from the embedded corpus, loading a spec from a JSON file, the
+// envelope exit path, and the unknown-name error.
+func TestLfsimScenarioCLI(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(options{scenarioList: true}, &stdout, io.Discard); err != nil {
+		t.Fatalf("scenario-list: %v", err)
+	}
+	for _, want := range []string{"web-baseline", "rpc-incast", "mega-web-1m"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-scenario-list output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	stdout.Reset()
+	o := options{scenario: "rpc-incast", scenarioCheck: true, scenarioScale: 1}
+	if err := run(o, &stdout, io.Discard); err != nil {
+		t.Fatalf("scenario rpc-incast: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "envelope: OK") {
+		t.Errorf("checked run did not report envelope OK:\n%s", stdout.String())
+	}
+
+	// A file-backed spec with an impossible envelope must trip -scenario-check.
+	spec := `{
+		"name": "impossible",
+		"description": "file-backed spec for the CLI test",
+		"fabric": {"profile": "dc", "hostsPerLeaf": 2},
+		"durationMs": 20,
+		"seed": 5,
+		"actors": [{"class": "web", "count": 2, "thinkMs": 2}],
+		"arrival": {"process": "uniform", "rampMs": 5},
+		"envelope": {"minResponses": 1000000}
+	}`
+	path := filepath.Join(t.TempDir(), "impossible.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	err := run(options{scenario: path, scenarioCheck: true, scenarioScale: 1}, &stdout, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "envelope violated") {
+		t.Errorf("impossible envelope: err = %v, want envelope violation", err)
+	}
+	// Without -scenario-check the same run succeeds but reports violations.
+	stdout.Reset()
+	if err := run(options{scenario: path, scenarioScale: 1}, &stdout, io.Discard); err != nil {
+		t.Fatalf("unchecked run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "envelope: 1 violations") {
+		t.Errorf("unchecked run did not print violations:\n%s", stdout.String())
+	}
+
+	if err := run(options{scenario: "no-such-scenario", scenarioScale: 1}, &stdout, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("unknown name: err = %v, want unknown-scenario error", err)
+	}
+	if err := run(options{scenario: "web-baseline", scenarioCheck: true, scenarioScale: 0.5}, &stdout, io.Discard); err == nil {
+		t.Error("scenario-check at scale 0.5 should be rejected")
 	}
 }

@@ -1,0 +1,53 @@
+package actor
+
+import (
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/tcp"
+	"github.com/liteflow-sim/liteflow/internal/workload"
+)
+
+// TestActorSteadyStateAllocBound guards the actor hot loop: once sessions
+// are warm (pools primed, Dist and message-queue capacity grown), each
+// request/response cycle must stay near allocation-free. The request path
+// reuses pooled packets, freelisted segments and bound closures; the only
+// amortized growth left is slice doubling in the latency Dist and engine
+// queues, so the bound is a small constant per simulated stretch rather
+// than zero.
+func TestActorSteadyStateAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; guard runs in the plain job")
+	}
+	eng := netsim.NewEngine()
+	f := fabric(eng)
+	m := NewMetrics()
+	for i := 0; i < 4; i++ {
+		s := New(Opts{
+			Class: Web, Client: f.Hosts[i], Servers: []*tcp.Host{f.Hosts[4+i]},
+			BaseFlow: netsim.FlowID(100 * i), Seed: uint64(i + 1), CC: dctcp, Metrics: m,
+			ThinkMean: 2 * netsim.Millisecond, ReqBytes: 300,
+			RespDist: workload.WebSearch(),
+		})
+		s.Launch(0)
+	}
+	eng.RunUntil(2 * netsim.Second) // warm: ~thousands of request cycles
+	if m.Responses < 500 {
+		t.Fatalf("only %d responses after warmup; alloc measurement is vacuous", m.Responses)
+	}
+	next := eng.Now()
+	before := m.Responses
+	allocs := testing.AllocsPerRun(20, func() {
+		next += 10 * netsim.Millisecond
+		eng.RunUntil(next)
+	})
+	cycles := float64(m.Responses-before) / 20
+	if cycles < 1 {
+		t.Fatal("no request cycles during measurement")
+	}
+	// Allow amortized slice growth only: well under one alloc per cycle.
+	if allocs/cycles > 0.5 {
+		t.Errorf("actor steady state allocates %.2f allocs per request cycle (%.1f allocs/run over %.1f cycles), want < 0.5",
+			allocs/cycles, allocs, cycles)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package actor
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Allocation guards skip under -race: the detector's shadow memory allocates.
+const raceEnabled = false

@@ -46,12 +46,13 @@ type Config struct {
 
 // SupportsDomains reports whether the experiment with the given ID honors
 // Config.Domains. Today that is the dumbbell family — the experiments whose
-// event rate dominates the benchmark suite; the remaining experiments build
-// topologies (fleet provisioning, toy links) that schedule across entities
-// and stay on the classic engine regardless of Domains.
+// event rate dominates the benchmark suite — plus the actor scenario corpus,
+// which partitions its spine-leaf fabric per host; the remaining experiments
+// build topologies (fleet provisioning, toy links) that schedule across
+// entities and stay on the classic engine regardless of Domains.
 func SupportsDomains(id string) bool {
 	switch id {
-	case "fig1a", "fig1b", "fig3", "fig4", "fig11", "fig13", "dummy":
+	case "fig1a", "fig1b", "fig3", "fig4", "fig11", "fig13", "dummy", "scenarios":
 		return true
 	}
 	return false
@@ -194,6 +195,7 @@ func All() []Runner {
 		{"flow-churn", "Flow-cache churn at scale: sharded cache + incremental sweep", FigFlowChurn},
 		{"fleet-scale", "Fleet snapshot distribution: goodput + staleness vs member count", FigFleetScale},
 		{"fleet-canary", "Canary gate: flight-recorder delta flags a degraded snapshot install", FigFleetCanary},
+		{"scenarios", "Actor scenario corpus: per-scenario goodput, tail latency, responses", FigScenarios},
 	}
 }
 

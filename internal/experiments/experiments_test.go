@@ -13,8 +13,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {

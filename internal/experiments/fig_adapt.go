@@ -198,7 +198,8 @@ func runAdaptation(cfg Config, v adaptVariant, T netsim.Time, dur netsim.Time,
 	if switchPeriod > 0 {
 		sw = workload.NewPatternSwitcher(eng, udp, switchPeriod,
 			[]int64{700e6, 100e6, 400e6}, cfg.Seed+7)
-		sw.Start()
+		sw.StartAt(0) // pinned: the experiment premise needs this exact start
+
 		defer sw.Stop()
 	} else {
 		udp.SetRate(700e6)

@@ -12,6 +12,7 @@ import (
 	"github.com/liteflow-sim/liteflow/internal/nn"
 	"github.com/liteflow-sim/liteflow/internal/obs"
 	"github.com/liteflow-sim/liteflow/internal/opt"
+	"github.com/liteflow-sim/liteflow/internal/scenario"
 	"github.com/liteflow-sim/liteflow/internal/topo"
 )
 
@@ -62,6 +63,13 @@ type FleetScenarioOpts struct {
 	// CanaryWindow is the verdict observation window. Zero means 4
 	// aggregation intervals.
 	CanaryWindow netsim.Time
+	// Workload, when non-nil, shapes every member's datapath query cadence
+	// by the scenario's arrival process: the inter-query gap is divided by
+	// the scenario's arrival density at the current point of the run, so a
+	// diurnal scenario makes fleet-wide load breathe day/night while the
+	// distribution-plane machinery stays untouched. Nil keeps the flat
+	// cadence (and the pre-scenario byte-identical reports).
+	Workload *scenario.Spec
 }
 
 // FleetScenarioResult reports one scenario run.
@@ -174,6 +182,19 @@ func RunFleetScenario(o FleetScenarioOpts) FleetScenarioResult {
 	if queryEvery < 10*netsim.Microsecond {
 		queryEvery = 10 * netsim.Microsecond
 	}
+	// nextGap is the inter-query gap: flat by default, or thinned/bunched by
+	// the workload scenario's arrival density at the current point of the
+	// run. Density is floored so a zero-trough diurnal never stalls a member.
+	nextGap := func() netsim.Time { return queryEvery }
+	if o.Workload != nil {
+		nextGap = func() netsim.Time {
+			den := o.Workload.ArrivalDensity(float64(eng.Now()) / float64(end))
+			if den < 0.05 {
+				den = 0.05
+			}
+			return netsim.Time(float64(queryEvery) / den)
+		}
+	}
 	for i, m := range ctrl.Members() {
 		i, m := i, m
 		rng := rand.New(rand.NewSource(o.Seed + 31*int64(i)))
@@ -192,10 +213,10 @@ func RunFleetScenario(o FleetScenarioOpts) FleetScenarioResult {
 			}
 			m.Chan.Push(core.EncodeSample(sample))
 			if eng.Now() < end {
-				eng.After(queryEvery, tick)
+				eng.After(nextGap(), tick)
 			}
 		}
-		eng.After(queryEvery, tick)
+		eng.After(nextGap(), tick)
 	}
 
 	// Flight recorder: snapshot every registry series on a virtual-time tick.

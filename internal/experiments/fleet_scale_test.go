@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"github.com/liteflow-sim/liteflow/internal/netsim"
+	"github.com/liteflow-sim/liteflow/internal/scenario"
+	"github.com/liteflow-sim/liteflow/scenarios"
 )
 
 // TestFleetChaosRecoversToEpochParity is the distribution plane's acceptance
@@ -78,5 +80,51 @@ func TestFleetScaleShape(t *testing.T) {
 	}
 	if len(res.Notes) != 6 {
 		t.Errorf("want one note per (count, variant) run, got %d", len(res.Notes))
+	}
+}
+
+// TestFleetWorkloadShaping checks the scenario→fleet-plane wiring: a diurnal
+// workload thins member query cadence at the troughs (fewer total queries
+// than the flat cadence at the same seed), the run stays deterministic, and
+// the distribution plane itself — epochs minted, parity at the end — is
+// untouched by load shaping.
+func TestFleetWorkloadShaping(t *testing.T) {
+	specs, err := scenario.LoadCorpus(scenarios.FS)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	var diurnal *scenario.Spec
+	for _, s := range specs {
+		if s.Arrival.Diurnal != nil {
+			diurnal = s
+			break
+		}
+	}
+	if diurnal == nil {
+		t.Fatal("corpus has no diurnal scenario to shape with")
+	}
+
+	base := FleetScenarioOpts{Members: 2, Seed: 5, Dur: 400 * netsim.Millisecond}
+	flat := RunFleetScenario(base)
+	shapedOpts := base
+	shapedOpts.Workload = diurnal
+	shaped := RunFleetScenario(shapedOpts)
+	again := RunFleetScenario(shapedOpts)
+
+	if shaped.Queries != again.Queries || shaped.MeanStale != again.MeanStale {
+		t.Errorf("shaped run not deterministic: %d/%f vs %d/%f queries/meanStale",
+			shaped.Queries, shaped.MeanStale, again.Queries, again.MeanStale)
+	}
+	if shaped.Queries >= flat.Queries {
+		t.Errorf("diurnal shaping did not thin load: %d shaped >= %d flat queries", shaped.Queries, flat.Queries)
+	}
+	if shaped.Queries == 0 {
+		t.Error("shaped run made no queries; density floor failed")
+	}
+	if shaped.Stats.Epoch < 2 {
+		t.Errorf("shaped run minted %d epochs; drift must still fan out under shaping", shaped.Stats.Epoch)
+	}
+	if shaped.Stats.StaleMembers != 0 {
+		t.Errorf("%d members stale after recovery tail under shaping", shaped.Stats.StaleMembers)
 	}
 }

@@ -30,6 +30,15 @@ type Link struct {
 
 	busy bool
 
+	// Wireless-style random loss: a packet that finishes serialization is
+	// corrupted (dropped before propagation) with probability lossRate.
+	// lossRNG is a private xorshift so the draw sequence depends only on
+	// this link's own packet order — deterministic per §4d under any
+	// domain count.
+	lossRate  float64
+	lossRNG   uint64
+	lossDrops int64
+
 	// Cumulative counters for experiment accounting.
 	txPackets int64
 	txBytes   int64
@@ -37,6 +46,7 @@ type Link struct {
 	sc    obs.Scope
 	drops *obs.Counter
 	marks *obs.Counter
+	lossC *obs.Counter
 }
 
 // Connect creates a link with transmission rate rateBps (bits/second),
@@ -66,7 +76,49 @@ func NewLink(eng *Engine, to Handler, rateBps int64, delay Time, q Queue, sc ...
 		"packets rejected by a full egress queue")
 	l.marks = l.sc.Counter("liteflow_net_ecn_marks_total",
 		"packets CE-marked on enqueue")
+	l.lossC = l.sc.Counter("liteflow_net_loss_drops_total",
+		"packets corrupted by configured link loss")
 	return l
+}
+
+// SetLoss configures wireless-style random loss: each packet that finishes
+// serialization is independently dropped with probability rate before
+// propagation (the bits were sent, then corrupted). seed initializes the
+// link-private PRNG so the drop pattern is reproducible and independent of
+// partition scheduling. rate 0 disables loss; rates outside [0,1) panic.
+func (l *Link) SetLoss(rate float64, seed int64) {
+	if rate < 0 || rate >= 1 {
+		panic("netsim: loss rate must be in [0, 1)")
+	}
+	l.lossRate = rate
+	// splitmix64 of the seed so adjacent seeds give uncorrelated streams;
+	// the state must be non-zero for xorshift.
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	l.lossRNG = z
+}
+
+// LossDrops returns the cumulative count of packets dropped by SetLoss.
+func (l *Link) LossDrops() int64 { return l.lossDrops }
+
+// lose draws the per-packet corruption coin (xorshift64*, top 53 bits as a
+// uniform float in [0,1)). Zero-alloc and branch-cheap on loss-free links.
+func (l *Link) lose() bool {
+	if l.lossRate == 0 {
+		return false
+	}
+	x := l.lossRNG
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	l.lossRNG = x
+	u := float64(x>>11) / (1 << 53)
+	return u < l.lossRate
 }
 
 // Engine returns the partition view owning this link (serialization and
@@ -176,6 +228,14 @@ func (l *Link) startNext() {
 func (l *Link) txDone(p *Packet) {
 	l.txPackets++
 	l.txBytes += int64(p.Size)
+	if l.lose() {
+		l.lossDrops++
+		l.lossC.Inc()
+		l.sc.Event2("net", "loss", l.eng.now, "flow", int64(p.Flow), "bytes", int64(p.Size))
+		FreePacket(p)
+		l.startNext()
+		return
+	}
 	at := l.eng.now + l.delay
 	if l.rem != nil {
 		l.eng.outbox = append(l.eng.outbox, handoff{l: l, p: p, at: at})

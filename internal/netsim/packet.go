@@ -25,6 +25,12 @@ type Packet struct {
 
 	Prio int // priority band, 0 = highest (flow scheduling experiments)
 
+	// App is an opaque application tag carried on the first segment of an
+	// application message (actor request/response framing). Zero means "no
+	// tag". The transport echoes it on retransmissions of that segment so
+	// exactly one delivered copy surfaces it to the receiver app.
+	App int64
+
 	// Path optionally pins the exact sequence of switch node IDs to
 	// traverse (XPath-style explicit path control, used by the load
 	// balancing experiments). When nil, switches use their routing tables.

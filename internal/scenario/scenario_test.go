@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/liteflow-sim/liteflow/scenarios"
+)
+
+// corpus loads the embedded scenario library once per test binary.
+func corpus(t *testing.T) []*Spec {
+	t.Helper()
+	specs, err := LoadCorpus(scenarios.FS)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	return specs
+}
+
+func byName(t *testing.T, specs []*Spec, name string) *Spec {
+	t.Helper()
+	for _, s := range specs {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("scenario %q not in corpus", name)
+	return nil
+}
+
+func TestCorpusLoads(t *testing.T) {
+	specs := corpus(t)
+	if len(specs) < 11 {
+		t.Fatalf("corpus has %d scenarios, want >= 11", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Description == "" {
+			t.Errorf("scenario %q has no description", s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("scenario %q: %v", s.Name, err)
+		}
+	}
+	for _, want := range []string{"web-baseline", "rpc-incast", "mega-web-1m"} {
+		if !seen[want] {
+			t.Errorf("corpus missing %q", want)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"x","bogusField":1}`))
+	if err == nil || !strings.Contains(err.Error(), "bogusField") {
+		t.Fatalf("Parse with unknown field: err = %v, want mention of bogusField", err)
+	}
+}
+
+// TestScenarioEnvelopes runs every small scenario at natural scale on the
+// serial engine and requires a clean acceptance envelope. This is the same
+// check CI's scenario job applies through lfsim -scenario-check.
+func TestScenarioEnvelopes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario envelope sweep is a long test")
+	}
+	for _, s := range corpus(t) {
+		if s.Name == "mega-web-1m" {
+			continue // covered by TestMegaWebMillionFlows
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			r, err := Run(s, RunOpts{})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !r.EnvelopeChecked {
+				t.Fatalf("envelope not checked at natural scale")
+			}
+			if len(r.Violations) != 0 {
+				t.Fatalf("envelope violations:\n%s", strings.Join(r.Violations, "\n"))
+			}
+			if r.Total.Responses == 0 {
+				t.Fatalf("scenario completed zero responses")
+			}
+		})
+	}
+}
+
+// TestScenarioByteIdenticalAcrossDomains checks the §4j contract for the
+// scenario harness itself: every scenario's report is byte-identical on the
+// partitioned engine at -sim-domains 1, 2, 4 and 8. Reduced scale keeps the
+// 4x sweep tractable; byte-identity is scale-independent.
+func TestScenarioByteIdenticalAcrossDomains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-domain sweep is a long test")
+	}
+	for _, s := range corpus(t) {
+		s := s
+		scale := 0.5
+		if s.Name == "mega-web-1m" {
+			scale = 0.002
+		}
+		t.Run(s.Name, func(t *testing.T) {
+			var want string
+			for _, domains := range []int{1, 2, 4, 8} {
+				r, err := Run(s, RunOpts{Domains: domains, Scale: scale})
+				if err != nil {
+					t.Fatalf("Run domains=%d: %v", domains, err)
+				}
+				got := r.String()
+				if domains == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("report differs between domains=1 and domains=%d:\n--- domains=1 ---\n%s\n--- domains=%d ---\n%s",
+						domains, want, domains, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMegaWebMillionFlows is the scale smoke: >= 1M concurrent tcp flows
+// driven by persistent sessions on one fabric, envelope enforced.
+func TestMegaWebMillionFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-flow scale smoke is a long test")
+	}
+	s := byName(t, corpus(t), "mega-web-1m")
+	r, err := Run(s, RunOpts{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Flows < 1_000_000 {
+		t.Fatalf("scale smoke ran %d concurrent flows, want >= 1,000,000", r.Flows)
+	}
+	if !r.EnvelopeChecked || len(r.Violations) != 0 {
+		t.Fatalf("envelope checked=%v violations=%v", r.EnvelopeChecked, r.Violations)
+	}
+	t.Logf("mega-web-1m: %d flows, %d responses, p99 %.3f ms",
+		r.Flows, r.Total.Responses, r.Total.P99Ms)
+}

@@ -125,6 +125,17 @@ func (d *Dist) Add(x float64) {
 // N returns the number of samples.
 func (d *Dist) N() int { return len(d.xs) }
 
+// Merge appends all of o's samples into d. o is unchanged; merging in a
+// deterministic order keeps quantiles reproducible (ties in sort order never
+// affect values, only the backing layout).
+func (d *Dist) Merge(o *Dist) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	d.xs = append(d.xs, o.xs...)
+	d.sorted = false
+}
+
 func (d *Dist) sortIfNeeded() {
 	if !d.sorted {
 		sort.Float64s(d.xs)

@@ -26,6 +26,11 @@ type Receiver struct {
 	// OnFIN fires when the FIN-bearing segment arrives; LiteFlow's flow
 	// cache uses it to drop per-flow state (paper §3.4).
 	OnFIN func(flow netsim.FlowID)
+	// OnApp fires exactly once per application message: when the first
+	// (tag-bearing) segment of a message pushed with Sender.Push arrives for
+	// the first time. Duplicates from retransmission races are suppressed by
+	// the dedup state. Actor session machines live entirely in this hook.
+	OnApp func(tag int64, now netsim.Time)
 
 	nextContig  int64           // every byte below this seq has arrived
 	pending     map[int64]int64 // out-of-order island: start seq → end seq
@@ -70,6 +75,9 @@ func (r *Receiver) handleData(p *netsim.Packet) {
 		r.uniqueBytes += int64(payload)
 		if r.OnDeliver != nil {
 			r.OnDeliver(payload, r.Host.Eng.Now())
+		}
+		if p.App != 0 && r.OnApp != nil {
+			r.OnApp(p.App, r.Host.Eng.Now())
 		}
 		if p.FIN && !r.finSeen {
 			r.finSeen = true

@@ -10,6 +10,7 @@ import (
 type segment struct {
 	seq    int64
 	size   int // payload bytes
+	tag    int64
 	sentAt netsim.Time
 	rtx    int // retransmission count
 	acked  bool
@@ -17,6 +18,15 @@ type segment struct {
 	fin    bool
 	inOut  bool // referenced by s.outstanding
 	inRtx  bool // referenced by s.rtxQueue
+}
+
+// appMsg is one application message pushed onto an app-limited sender:
+// bytes [start, end) of the stream, with an opaque tag carried by the first
+// segment (segments never span a message boundary, so exactly one segment
+// starts at start and the tag survives retransmission).
+type appMsg struct {
+	start, end int64
+	tag        int64
 }
 
 // Sender transmits a flow with pacing, a congestion window, selective-repeat
@@ -37,6 +47,11 @@ type Sender struct {
 	// acknowledged, with the flow completion time.
 	OnComplete func(fct netsim.Time)
 
+	// OnAcked, when set, fires on every newly acknowledged segment with the
+	// cumulative payload bytes acknowledged. App-limited senders (Push) use
+	// it to observe upload progress on the sender's own partition.
+	OnAcked func(ackedBytes int64, now netsim.Time)
+
 	// DupThresh is the reordering tolerance in segments before a hole is
 	// declared lost (fast retransmit). Defaults to 3.
 	DupThresh int
@@ -55,6 +70,13 @@ type Sender struct {
 	started   bool
 	startAt   netsim.Time
 	completed bool
+
+	// App-limited mode (Push): the flow is long-lived and the stream grows
+	// by discrete messages instead of being fully available up front.
+	appLimited bool
+	appBytes   int64    // stream length so far: sum of all pushed messages
+	msgs       []appMsg // pending + in-flight messages; live region starts at msgHead
+	msgHead    int
 
 	nextSeq     int64
 	outstanding []*segment // ordered by seq; live region starts at outHead
@@ -114,9 +136,51 @@ func (s *Sender) Start() {
 	s.startAt = s.Host.Eng.Now()
 	s.rateWinStart = s.startAt
 	s.CC.Start(s.startAt)
-	s.armRTO()
+	// An app-limited sender with nothing pushed yet stays unarmed: with a
+	// million idle sessions, a 200 ms timer per connection would dominate
+	// the event heap. Push re-arms when data arrives.
+	if s.remaining() || s.inflight > 0 {
+		s.armRTO()
+	}
 	s.maybeSend()
 }
+
+// MarkAppLimited switches an unbounded sender into app-limited mode before
+// any data exists. A Size==0 sender is otherwise an infinite source the
+// moment it starts; a connection that will be driven by Push must be marked
+// (or pushed to) before Start, or it transmits phantom data.
+func (s *Sender) MarkAppLimited() {
+	if s.Size != 0 {
+		panic("tcp: MarkAppLimited requires an unbounded sender (Size == 0)")
+	}
+	s.appLimited = true
+}
+
+// Push appends an n-byte application message to an app-limited stream. The
+// message's first segment carries tag (echoed on retransmission, surfaced
+// exactly once by Receiver.OnApp); segments never span message boundaries.
+// Push requires Size == 0 — the stream has no flow length, it grows message
+// by message — and must run on the sender host's partition, which is free at
+// setup time and inside any callback delivered to this host.
+func (s *Sender) Push(n int64, tag int64) {
+	if n <= 0 {
+		panic("tcp: Push needs a positive message size")
+	}
+	if s.Size != 0 {
+		panic("tcp: Push requires an unbounded sender (Size == 0)")
+	}
+	s.appLimited = true
+	start := s.appBytes
+	s.appBytes += n
+	s.msgs = append(s.msgs, appMsg{start: start, end: s.appBytes, tag: tag})
+	if s.started {
+		s.armRTO()
+		s.maybeSend()
+	}
+}
+
+// Pushed returns the cumulative bytes handed to an app-limited sender.
+func (s *Sender) Pushed() int64 { return s.appBytes }
 
 // AckedBytes returns the cumulative payload bytes acknowledged.
 func (s *Sender) AckedBytes() int64 { return s.ackedBytes }
@@ -132,6 +196,9 @@ func (s *Sender) Inflight() int { return s.inflight }
 
 // remaining reports whether new (never-sent) data exists.
 func (s *Sender) remaining() bool {
+	if s.appLimited {
+		return s.nextSeq < s.appBytes
+	}
 	return s.Size == 0 || s.nextSeq < s.Size
 }
 
@@ -214,11 +281,31 @@ func (s *Sender) pickSegment() *segment {
 		return nil
 	}
 	size := netsim.MSS
-	if s.Size > 0 && s.Size-s.nextSeq < int64(size) {
+	var tag int64
+	if s.appLimited {
+		// Segments respect message boundaries so the tag lands on the
+		// unique segment starting the message.
+		m := &s.msgs[s.msgHead]
+		if s.nextSeq == m.start {
+			tag = m.tag
+		}
+		if rem := m.end - s.nextSeq; rem < int64(size) {
+			size = int(rem)
+		}
+		if s.nextSeq+int64(size) >= m.end {
+			s.msgHead++
+			if s.msgHead > 32 && s.msgHead*2 >= len(s.msgs) {
+				n := copy(s.msgs, s.msgs[s.msgHead:])
+				s.msgs = s.msgs[:n]
+				s.msgHead = 0
+			}
+		}
+	} else if s.Size > 0 && s.Size-s.nextSeq < int64(size) {
 		size = int(s.Size - s.nextSeq)
 	}
 	seg := s.allocSegment()
 	seg.seq, seg.size = s.nextSeq, size
+	seg.tag = tag
 	if s.Size > 0 && s.nextSeq+int64(size) >= s.Size {
 		seg.fin = true
 	}
@@ -238,6 +325,7 @@ func (s *Sender) transmit(seg *segment) {
 	p.Flow, p.Src, p.Dst = s.Flow, s.Host.ID, s.Dst
 	p.Seq, p.Size = seg.seq, seg.size+netsim.HeaderBytes
 	p.FIN = seg.fin
+	p.App = seg.tag
 	p.SentAt = now
 	p.Prio = s.Prio
 	p.Path = s.Path
@@ -303,6 +391,10 @@ func (s *Sender) handleAck(p *netsim.Packet) {
 	})
 
 	s.pruneOutstanding()
+
+	if s.OnAcked != nil {
+		s.OnAcked(s.ackedBytes, now)
+	}
 
 	if s.Size > 0 && s.ackedBytes >= s.Size {
 		s.completed = true
@@ -393,6 +485,12 @@ func (s *Sender) fireRTO() {
 		// remainder.
 		s.rtoPending = true
 		s.Host.Eng.At(s.rtoDeadline, s.rtoFireFn)
+		return
+	}
+	// A drained app-limited stream disarms instead of re-arming forever;
+	// the next Push re-arms. Keeps idle sessions off the event heap.
+	if s.inflight == 0 && len(s.rtxQueue) == 0 && !s.remaining() {
+		s.rtoArm = false
 		return
 	}
 	// Anything outstanding and un-lost is now presumed lost.

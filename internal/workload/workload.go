@@ -59,7 +59,13 @@ func WebSearch() *SizeDist {
 
 // Sample draws one flow size in bytes (at least 1).
 func (d *SizeDist) Sample(r *rand.Rand) int64 {
-	u := r.Float64()
+	return d.SampleU(r.Float64())
+}
+
+// SampleU maps one uniform draw u ∈ [0,1) to a flow size — for callers with
+// their own random source (the actor sessions keep an 8-byte prng instead of
+// a *rand.Rand).
+func (d *SizeDist) SampleU(u float64) int64 {
 	i := sort.SearchFloat64s(d.cdf, u)
 	if i == 0 {
 		return int64(math.Max(1, d.sizes[0]))
@@ -172,6 +178,14 @@ type ChurnFlow struct {
 // must be reclaimed by the cache's idle sweeper. Each flow issues 1–4
 // queries. Deterministic for a given rand source.
 func GenerateChurn(r *rand.Rand, n int, ratePerSec float64, meanLife netsim.Time, finFrac float64) []ChurnFlow {
+	return GenerateChurnAt(r, n, ratePerSec, meanLife, finFrac, 0, 0)
+}
+
+// GenerateChurnAt is GenerateChurn with a composition base: flow IDs start
+// at baseID+1 and arrivals at baseTime, so several populations can be layered
+// in one experiment (scenario churn over session actors) without colliding on
+// FlowID(i+1) or restarting the clock at zero.
+func GenerateChurnAt(r *rand.Rand, n int, ratePerSec float64, meanLife netsim.Time, finFrac float64, baseID netsim.FlowID, baseTime netsim.Time) []ChurnFlow {
 	if n < 0 || ratePerSec <= 0 || meanLife <= 0 {
 		panic("workload: GenerateChurn needs n >= 0, ratePerSec > 0, meanLife > 0")
 	}
@@ -180,9 +194,9 @@ func GenerateChurn(r *rand.Rand, n int, ratePerSec float64, meanLife netsim.Time
 	for i := 0; i < n; i++ {
 		t += r.ExpFloat64() / ratePerSec
 		life := netsim.Time(r.ExpFloat64() * float64(meanLife))
-		open := netsim.Time(t * 1e9)
+		open := baseTime + netsim.Time(t*1e9)
 		out = append(out, ChurnFlow{
-			ID:      netsim.FlowID(i + 1),
+			ID:      baseID + netsim.FlowID(i+1),
 			Open:    open,
 			Close:   open + life,
 			Queries: 1 + r.Intn(4),
@@ -214,7 +228,13 @@ type PatternSwitcher struct {
 	rng     *rand.Rand
 	current int
 	running bool
-	// Switches counts pattern changes applied.
+	// gen invalidates the pending tick of a previous run: a Stop→Start
+	// cycle would otherwise let the old callback observe running==true and
+	// re-arm, leaving two concurrent switch chains (the flowcache sweeper's
+	// generation-counter pattern).
+	gen int
+	// Switches counts pattern *changes* applied — the initial rate is the
+	// starting pattern, not a switch.
 	Switches int
 }
 
@@ -227,31 +247,47 @@ func NewPatternSwitcher(eng *netsim.Engine, target RateSetter, period netsim.Tim
 		rng: rand.New(rand.NewSource(seed))}
 }
 
-// Start applies the first rate immediately and schedules periodic switches.
+// Start draws the initial rate from the switcher's rng, applies it
+// immediately, and schedules periodic switches. The initial application
+// fires OnSwitch but is not counted in Switches. Use StartAt when the
+// starting pattern must be pinned (e.g. a model's training pattern).
 func (p *PatternSwitcher) Start() {
 	if p.running {
 		return
 	}
-	p.running = true
-	p.apply(0)
-	p.tick()
+	p.StartAt(p.rng.Intn(len(p.Rates)))
 }
 
-// Stop halts switching after the pending period elapses.
+// StartAt starts switching from Rates[idx] as the initial pattern.
+func (p *PatternSwitcher) StartAt(idx int) {
+	if p.running {
+		return
+	}
+	if idx < 0 || idx >= len(p.Rates) {
+		panic("workload: StartAt index out of range")
+	}
+	p.running = true
+	p.gen++
+	p.apply(idx)
+	p.tick(p.gen)
+}
+
+// Stop halts switching after the pending period elapses. A later Start
+// begins a fresh switch chain; the old pending tick dies on the generation
+// check instead of re-arming alongside it.
 func (p *PatternSwitcher) Stop() { p.running = false }
 
 func (p *PatternSwitcher) apply(idx int) {
 	p.current = idx
 	p.Target.SetRate(p.Rates[idx])
-	p.Switches++
 	if p.OnSwitch != nil {
 		p.OnSwitch(p.Eng.Now(), p.Rates[idx])
 	}
 }
 
-func (p *PatternSwitcher) tick() {
+func (p *PatternSwitcher) tick(gen int) {
 	p.Eng.After(p.Period, func() {
-		if !p.running {
+		if !p.running || p.gen != gen {
 			return
 		}
 		next := p.rng.Intn(len(p.Rates) - 1)
@@ -259,6 +295,7 @@ func (p *PatternSwitcher) tick() {
 			next++
 		}
 		p.apply(next)
-		p.tick()
+		p.Switches++
+		p.tick(gen)
 	})
 }

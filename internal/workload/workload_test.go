@@ -167,6 +167,92 @@ func TestPatternSwitcher(t *testing.T) {
 	}
 }
 
+// TestPatternSwitcherCountsOnlyChanges pins the Switches semantics: the
+// initial rate is the starting pattern (not counted), every later change is.
+func TestPatternSwitcherCountsOnlyChanges(t *testing.T) {
+	eng := netsim.NewEngine()
+	tgt := &fakeRate{}
+	p := NewPatternSwitcher(eng, tgt, 100*netsim.Millisecond, []int64{100, 200, 300}, 7)
+	p.Start()
+	if p.Switches != 0 {
+		t.Fatalf("Switches = %d right after Start, want 0 (initial apply is not a switch)", p.Switches)
+	}
+	eng.RunUntil(550 * netsim.Millisecond)
+	if want := len(tgt.rates) - 1; p.Switches != want {
+		t.Errorf("Switches = %d, want %d (rate applications minus the initial one)", p.Switches, want)
+	}
+}
+
+// TestPatternSwitcherFirstRateSeedDependent: Start draws the initial rate
+// from the rng, so different seeds must be able to start on different rates
+// (the old behavior always started at Rates[0]).
+func TestPatternSwitcherFirstRateSeedDependent(t *testing.T) {
+	first := func(seed int64) int64 {
+		eng := netsim.NewEngine()
+		tgt := &fakeRate{}
+		p := NewPatternSwitcher(eng, tgt, netsim.Second, []int64{100, 200, 300}, seed)
+		p.Start()
+		return tgt.rates[0]
+	}
+	seen := make(map[int64]bool)
+	for seed := int64(0); seed < 20; seed++ {
+		seen[first(seed)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("20 seeds all started on the same rate %v; first rate must come from the rng", seen)
+	}
+}
+
+// TestPatternSwitcherStartAtPins: StartAt fixes the initial pattern for
+// callers whose premise depends on it (the adaptation experiments train the
+// frozen model on Rates[0]).
+func TestPatternSwitcherStartAtPins(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		eng := netsim.NewEngine()
+		tgt := &fakeRate{}
+		p := NewPatternSwitcher(eng, tgt, netsim.Second, []int64{100, 200, 300}, seed)
+		p.StartAt(2)
+		if tgt.rates[0] != 300 {
+			t.Fatalf("seed %d: StartAt(2) applied %d, want 300", seed, tgt.rates[0])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("StartAt out of range must panic")
+		}
+	}()
+	NewPatternSwitcher(netsim.NewEngine(), &fakeRate{}, 1, []int64{1, 2}, 1).StartAt(2)
+}
+
+// TestPatternSwitcherStopStartNoDoubleChain is the Stop→Start regression:
+// the pending tick of the stopped run must die on the generation check
+// instead of re-arming a second concurrent switch chain (which doubled
+// Switches counting and rate draws).
+func TestPatternSwitcherStopStartNoDoubleChain(t *testing.T) {
+	eng := netsim.NewEngine()
+	tgt := &fakeRate{}
+	period := 100 * netsim.Millisecond
+	p := NewPatternSwitcher(eng, tgt, period, []int64{100, 200, 300}, 7)
+	p.Start()
+	// Stop mid-period and restart immediately: the old tick (scheduled by
+	// the first run) is still pending and fires after the restart.
+	eng.At(250*netsim.Millisecond, func() {
+		p.Stop()
+		p.Start()
+	})
+	eng.RunUntil(1050 * netsim.Millisecond)
+	p.Stop()
+	// One healthy chain applies ~1 rate per period after restart. A doubled
+	// chain applies ~2 per period. 10 periods + 2 initial applies + slack.
+	if len(tgt.rates) > 13 {
+		t.Errorf("%d rate applications over 10 periods — double switch chain after Stop→Start", len(tgt.rates))
+	}
+	// The chain must still be alive (the restart did not kill switching).
+	if len(tgt.rates) < 9 {
+		t.Errorf("only %d rate applications — switcher died after Stop→Start", len(tgt.rates))
+	}
+}
+
 func TestPatternSwitcherValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -229,6 +315,35 @@ func TestGenerateChurn(t *testing.T) {
 	for i := range flows {
 		if flows[i] != again[i] {
 			t.Fatalf("flow %d differs between same-seed generations", i)
+		}
+	}
+}
+
+// TestGenerateChurnAtOffsets: two populations composed in one experiment
+// must not collide on flow IDs, and the second population's clock starts at
+// its base time.
+func TestGenerateChurnAtOffsets(t *testing.T) {
+	a := GenerateChurnAt(rand.New(rand.NewSource(1)), 100, 1000, netsim.Millisecond, 0.5, 0, 0)
+	base := a[len(a)-1].ID
+	b := GenerateChurnAt(rand.New(rand.NewSource(2)), 100, 1000, netsim.Millisecond, 0.5,
+		base, netsim.Second)
+	ids := make(map[netsim.FlowID]bool)
+	for _, f := range a {
+		ids[f.ID] = true
+	}
+	for _, f := range b {
+		if ids[f.ID] {
+			t.Fatalf("flow ID %d collides across populations", f.ID)
+		}
+		if f.Open < netsim.Second {
+			t.Fatalf("flow %d opens at %v, before the base time", f.ID, f.Open)
+		}
+	}
+	// GenerateChurn must stay the zero-base special case.
+	c := GenerateChurn(rand.New(rand.NewSource(1)), 100, 1000, netsim.Millisecond, 0.5)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("GenerateChurn != GenerateChurnAt(base 0)")
 		}
 	}
 }

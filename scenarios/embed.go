@@ -1,0 +1,13 @@
+// Package scenarios embeds the named scenario corpus: every *.json file in
+// this directory is a declarative workload spec for internal/scenario. The
+// corpus is loaded by the scenarios experiment, lfsim -scenario, and the
+// acceptance tests in internal/scenario, so a new file here is automatically
+// validated, envelope-checked and swept across -sim-domains in CI.
+package scenarios
+
+import "embed"
+
+// FS holds the scenario corpus.
+//
+//go:embed *.json
+var FS embed.FS
